@@ -1,0 +1,360 @@
+// Package mpx_bench is the root benchmark harness: one benchmark per
+// experiment id in DESIGN.md (the paper's Figure 1 plus every proved
+// guarantee turned into a measured table). Each benchmark exercises the
+// computational core of its experiment and reports the headline quality
+// metric via b.ReportMetric, so `go test -bench=. -benchmem` regenerates
+// the performance side of EXPERIMENTS.md.
+package mpx_bench
+
+import (
+	"fmt"
+	"testing"
+
+	"mpx/internal/apps/blocks"
+	"mpx/internal/apps/connectivity"
+	"mpx/internal/apps/embedding"
+	"mpx/internal/apps/lowstretch"
+	"mpx/internal/apps/separator"
+	"mpx/internal/apps/solver"
+	"mpx/internal/apps/spanner"
+	"mpx/internal/core"
+	"mpx/internal/expt"
+	"mpx/internal/graph"
+)
+
+// benchGrid is shared by several benchmarks; built once.
+var benchGrid = graph.Grid2D(250, 250)
+
+// BenchmarkE1Figure1 decomposes the Figure 1 grid (scaled to 250x250) at
+// each of the paper's six β values.
+func BenchmarkE1Figure1(b *testing.B) {
+	for _, beta := range []float64{0.002, 0.005, 0.01, 0.02, 0.05, 0.1} {
+		b.Run(fmt.Sprintf("beta=%g", beta), func(b *testing.B) {
+			var clusters int
+			for i := 0; i < b.N; i++ {
+				d, err := core.Partition(benchGrid, beta, core.Options{Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				clusters = d.NumClusters()
+			}
+			b.ReportMetric(float64(clusters), "clusters")
+		})
+	}
+}
+
+// BenchmarkE2Diameter measures partitioning across the experiment families
+// and reports the radius/(ln n / β) ratio.
+func BenchmarkE2Diameter(b *testing.B) {
+	families := map[string]*graph.Graph{
+		"grid":      graph.Grid2D(200, 200),
+		"gnm":       graph.GNM(40000, 160000, 1),
+		"rmat":      graph.RMAT(15, 160000, 2),
+		"hypercube": graph.Hypercube(15),
+	}
+	for name, g := range families {
+		b.Run(name, func(b *testing.B) {
+			var maxRad int32
+			for i := 0; i < b.N; i++ {
+				d, err := core.Partition(g, 0.1, core.Options{Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxRad = d.MaxRadius()
+			}
+			b.ReportMetric(float64(maxRad), "maxRadius")
+		})
+	}
+}
+
+// BenchmarkE3CutFraction reports the measured cut/β ratio per β.
+func BenchmarkE3CutFraction(b *testing.B) {
+	for _, beta := range []float64{0.02, 0.1, 0.5} {
+		b.Run(fmt.Sprintf("beta=%g", beta), func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				d, err := core.Partition(benchGrid, beta, core.Options{Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				frac = d.CutFraction()
+			}
+			b.ReportMetric(frac/beta, "cut/beta")
+		})
+	}
+}
+
+// BenchmarkE4MaxShift benchmarks the shift-generation substrate (Lemma 4.2
+// studies these values).
+func BenchmarkE4MaxShift(b *testing.B) {
+	const n = 1 << 17
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		shifts := core.GenerateShifts(n, 0.1, uint64(i), core.ShiftExponential)
+		_ = shifts[n-1]
+	}
+}
+
+// BenchmarkE5DepthWork reports rounds (depth proxy) and relaxed/m (work
+// proxy) across β.
+func BenchmarkE5DepthWork(b *testing.B) {
+	for _, beta := range []float64{0.05, 0.2} {
+		b.Run(fmt.Sprintf("beta=%g", beta), func(b *testing.B) {
+			var rounds int
+			var workRatio float64
+			for i := 0; i < b.N; i++ {
+				d, err := core.Partition(benchGrid, beta, core.Options{Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = d.Rounds
+				workRatio = float64(d.Relaxed) / float64(benchGrid.NumEdges())
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(workRatio, "relaxed/m")
+		})
+	}
+}
+
+// BenchmarkE6Workers sweeps the worker count (single-core hosts measure
+// synchronization overhead; multi-core hosts measure speedup).
+func BenchmarkE6Workers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Partition(benchGrid, 0.1, core.Options{Seed: 1, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Baselines compares the three decomposition algorithms on one
+// workload.
+func BenchmarkE7Baselines(b *testing.B) {
+	g := graph.GNM(50000, 200000, 3)
+	b.Run("mpx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Partition(g, 0.1, core.Options{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mpx-sequential-ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.PartitionSequential(g, 0.1, core.Options{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ballgrow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BallGrowing(g, 0.1, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("iterative", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.PartitionIterative(g, 0.1, uint64(i), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8TieBreak compares the Section 5 tie-breaking variants.
+func BenchmarkE8TieBreak(b *testing.B) {
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"fractional", core.Options{TieBreak: core.TieFractional}},
+		{"permutation", core.Options{TieBreak: core.TiePermutation}},
+		{"quantile-shifts", core.Options{ShiftSource: core.ShiftQuantile}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := v.opts
+				opts.Seed = uint64(i)
+				if _, err := core.Partition(benchGrid, 0.1, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9Weighted benchmarks the weighted shifted-Dijkstra extension.
+func BenchmarkE9Weighted(b *testing.B) {
+	wg := graph.RandomWeights(graph.Grid2D(150, 150), 1, 10, 5)
+	var cut float64
+	for i := 0; i < b.N; i++ {
+		d, err := core.PartitionWeighted(wg, 0.1, core.Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut = d.CutWeightFraction()
+	}
+	b.ReportMetric(cut, "cutWeightFrac")
+}
+
+// BenchmarkE10Blocks benchmarks the iterated block decomposition.
+func BenchmarkE10Blocks(b *testing.B) {
+	g := graph.Torus2D(120, 120)
+	var nblocks int
+	for i := 0; i < b.N; i++ {
+		bd, err := blocks.Decompose(g, 0.5, uint64(i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nblocks = bd.NumBlocks()
+	}
+	b.ReportMetric(float64(nblocks), "blocks")
+}
+
+// BenchmarkE11Spanner benchmarks spanner construction (without the
+// stretch-measurement BFS sampling).
+func BenchmarkE11Spanner(b *testing.B) {
+	g0 := graph.RoadNetwork(150, 150, 0.85, 80, 7)
+	g, _ := graph.LargestComponent(g0)
+	var size int64
+	for i := 0; i < b.N; i++ {
+		s, err := spanner.Build(g, 0.1, core.Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = s.Size()
+	}
+	b.ReportMetric(float64(size)/float64(g.NumEdges()), "keptFrac")
+}
+
+// BenchmarkE12LowStretch benchmarks the AKPW-style tree construction plus
+// exact stretch evaluation.
+func BenchmarkE12LowStretch(b *testing.B) {
+	g := graph.Grid2D(100, 100)
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		tr, err := lowstretch.Build(g, 0.2, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = tr.Stretch().Mean
+	}
+	b.ReportMetric(mean, "meanStretch")
+}
+
+// BenchmarkExperimentHarness runs the full experiment suite end to end at
+// test scale (integration smoke at benchmark cadence).
+func BenchmarkExperimentHarness(b *testing.B) {
+	cfg := expt.Config{Scale: 0.01, Seed: 1, Trials: 1}
+	for i := 0; i < b.N; i++ {
+		for _, id := range expt.IDs() {
+			if _, err := expt.Run(id, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE13Lemma44 benchmarks one Monte-Carlo round of the Lemma 4.4
+// event probability (the paper's key partition lemma).
+func BenchmarkE13Lemma44(b *testing.B) {
+	d := make([]float64, 1000)
+	for i := 0; i < b.N; i++ {
+		_ = core.Lemma44Probability(d, 0.1, 1, 100, uint64(i))
+	}
+}
+
+// BenchmarkE14Solver benchmarks the SDD-solver pipeline: low-stretch tree
+// construction plus one tree-preconditioned CG solve.
+func BenchmarkE14Solver(b *testing.B) {
+	g := graph.Grid2D(60, 60)
+	l := solver.NewLaplacian(g)
+	rhs := make([]float64, g.NumVertices())
+	var sum float64
+	for i := range rhs {
+		rhs[i] = float64(i%7) - 3
+		sum += rhs[i]
+	}
+	for i := range rhs {
+		rhs[i] -= sum / float64(len(rhs))
+	}
+	var iters int
+	for i := 0; i < b.N; i++ {
+		tr, err := lowstretch.Build(g, 0.2, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts, err := solver.NewTreeSolver(g.NumVertices(), tr.Edges)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, res := solver.PCG(l, ts, rhs, 1e-8, 10000)
+		iters = res.Iterations
+	}
+	b.ReportMetric(float64(iters), "pcgIters")
+}
+
+// BenchmarkE15WeightedParallel benchmarks the delta-stepping weighted
+// partition (the Section 6 parallel-depth exploration).
+func BenchmarkE15WeightedParallel(b *testing.B) {
+	wg := graph.RandomWeights(graph.Grid2D(120, 120), 1, 10, 3)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		d, err := core.PartitionWeightedParallel(wg, 0.1, 0, core.Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = d.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE16Embedding benchmarks the hierarchical tree-metric embedding.
+func BenchmarkE16Embedding(b *testing.B) {
+	g := graph.Grid2D(50, 50)
+	for i := 0; i < b.N; i++ {
+		if _, err := embedding.Build(g, 0, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE17Separator benchmarks balanced separator extraction.
+func BenchmarkE17Separator(b *testing.B) {
+	g := graph.Grid2D(100, 100)
+	var size int
+	for i := 0; i < b.N; i++ {
+		r, err := separator.Find(g, 0, 2.0/3, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(r.Separator)
+	}
+	b.ReportMetric(float64(size), "sepSize")
+}
+
+// BenchmarkE18Connectivity benchmarks LDD-contraction connectivity against
+// the sequential BFS labeling.
+func BenchmarkE18Connectivity(b *testing.B) {
+	g := graph.RMAT(15, 200000, 5)
+	b.Run("ldd-contraction", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			r, err := connectivity.Components(g, 0.4, uint64(i), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = r.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+	b.Run("sequential-bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = graph.ConnectedComponents(g)
+		}
+	})
+}

@@ -1,0 +1,33 @@
+// Connectivity runs the work-efficient parallel connected-components
+// algorithm built on the paper's decomposition (Shun-Dhulipala-Blelloch):
+// repeated Partition + contraction, with geometric edge decay per round.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpx/internal/apps/connectivity"
+	"mpx/internal/graph"
+)
+
+func main() {
+	for _, wl := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid 500x500", graph.Grid2D(500, 500)},
+		{"rmat scale 16", graph.RMAT(16, 500000, 7)},
+		{"gnm sparse", graph.GNM(200000, 240000, 3)},
+		{"small world", graph.WattsStrogatz(100000, 3, 0.05, 5)},
+	} {
+		r, err := connectivity.Components(wl.g, 0.4, 1, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s n=%-7d m=%-7d components=%-6d rounds=%d edges/round=%v\n",
+			wl.name, wl.g.NumVertices(), wl.g.NumEdges(), r.Components, r.Rounds, r.EdgesPerRound)
+	}
+	fmt.Println("\nEach round decomposes (beta=0.4) and contracts; only cut edges survive,")
+	fmt.Println("so the edge count decays geometrically: O(m) total work, O(log n) rounds.")
+}

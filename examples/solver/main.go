@@ -1,0 +1,59 @@
+// Solver demonstrates the application the paper targets: solving graph
+// Laplacian (SDD) systems with tree-preconditioned conjugate gradient,
+// where the preconditioner tree is the low-stretch spanning tree built
+// over the paper's Partition. Lower stretch => fewer PCG iterations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpx/internal/apps/lowstretch"
+	"mpx/internal/apps/solver"
+	"mpx/internal/graph"
+	"mpx/internal/xrand"
+)
+
+func main() {
+	fmt.Printf("%10s %8s %8s %12s %13s\n", "grid", "n", "cg", "bfs-tree-pcg", "akpw-tree-pcg")
+	for _, side := range []int{30, 50, 80, 120} {
+		g := graph.Grid2D(side, side)
+		l := solver.NewLaplacian(g)
+
+		// Random right-hand side, projected onto 1-perp.
+		b := make([]float64, g.NumVertices())
+		var sum float64
+		for i := range b {
+			b[i] = xrand.Uniform01(9, uint64(i)) - 0.5
+			sum += b[i]
+		}
+		for i := range b {
+			b[i] -= sum / float64(len(b))
+		}
+
+		akpw, err := lowstretch.Build(g, 0.2, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bfsTree, err := lowstretch.BFSTree(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tsA, err := solver.NewTreeSolver(g.NumVertices(), akpw.Edges)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tsB, err := solver.NewTreeSolver(g.NumVertices(), bfsTree.Edges)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, cg := solver.CG(l, b, 1e-8, 100*side)
+		_, pb := solver.PCG(l, tsB, b, 1e-8, 100*side)
+		_, pa := solver.PCG(l, tsA, b, 1e-8, 100*side)
+		fmt.Printf("%10s %8d %8d %12d %13d\n",
+			fmt.Sprintf("%dx%d", side, side), g.NumVertices(),
+			cg.Iterations, pb.Iterations, pa.Iterations)
+	}
+	fmt.Println("\nPCG iterations track sqrt(total tree stretch): the low-stretch tree")
+	fmt.Println("(built over the paper's decomposition) beats the BFS tree, widening with n.")
+}

@@ -1,0 +1,33 @@
+// Spanner builds sparse spanners of a synthetic road network from
+// low-diameter decompositions and reports the size/stretch trade-off across
+// β — the application of the paper's introduction (Cohen's spanners).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpx/internal/apps/spanner"
+	"mpx/internal/core"
+	"mpx/internal/graph"
+)
+
+func main() {
+	// Synthetic road network: a 300x300 grid with 15% of streets removed
+	// and a handful of highway shortcuts, largest connected component.
+	raw := graph.RoadNetwork(300, 300, 0.85, 150, 7)
+	g, _ := graph.LargestComponent(raw)
+	fmt.Printf("road network: n=%d m=%d\n\n", g.NumVertices(), g.NumEdges())
+
+	fmt.Printf("%8s %14s %10s %12s %11s\n", "beta", "spannerEdges", "keptFrac", "meanStretch", "maxStretch")
+	for _, beta := range []float64{0.02, 0.05, 0.1, 0.2, 0.4} {
+		s, err := spanner.Build(g, beta, core.Options{Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := s.MeasureStretch(40, 3)
+		fmt.Printf("%8g %14d %10.3f %12.2f %11.0f\n",
+			beta, s.Size(), float64(s.Size())/float64(g.NumEdges()), st.Mean, st.Max)
+	}
+	fmt.Println("\nlower beta => sparser spanner but longer detours: the O(log n / beta) trade-off")
+}

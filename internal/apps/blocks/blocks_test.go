@@ -1,0 +1,124 @@
+package blocks
+
+import (
+	"math"
+	"testing"
+
+	"mpx/internal/graph"
+)
+
+func TestDecomposePartitionsEdges(t *testing.T) {
+	g := graph.Grid2D(20, 20)
+	bd, err := Decompose(g, 0.5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.EdgeCount() != g.NumEdges() {
+		t.Errorf("blocks hold %d edges, graph has %d", bd.EdgeCount(), g.NumEdges())
+	}
+	// Every edge in exactly one block.
+	seen := make(map[graph.Edge]int)
+	for _, b := range bd.Blocks {
+		for _, e := range b.Edges {
+			seen[e]++
+		}
+	}
+	for e, c := range seen {
+		if c != 1 {
+			t.Errorf("edge %v appears %d times", e, c)
+		}
+	}
+}
+
+func TestDecomposeBlockCountLogarithmic(t *testing.T) {
+	g := graph.Grid2D(40, 40)
+	bd, err := Decompose(g, 0.5, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 4*math.Log2(float64(g.NumEdges())) + 8
+	if float64(bd.NumBlocks()) > bound {
+		t.Errorf("%d blocks exceeds %g", bd.NumBlocks(), bound)
+	}
+	if bd.NumBlocks() < 1 {
+		t.Error("expected at least one block")
+	}
+}
+
+func TestDecomposeComponentDiameters(t *testing.T) {
+	g := graph.Grid2D(15, 15)
+	bd, err := Decompose(g, 0.5, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diams := bd.ComponentDiameters()
+	n := float64(g.NumVertices())
+	bound := int32(12*math.Log(n)/0.5) + 2
+	for bi, ds := range diams {
+		for _, d := range ds {
+			if d > bound {
+				t.Errorf("block %d: component diameter %d exceeds %d", bi, d, bound)
+			}
+			// Component diameter is also at most twice the recorded radius.
+			if d > 2*bd.Blocks[bi].MaxComponentRadius {
+				t.Errorf("block %d: diameter %d exceeds 2x radius %d",
+					bi, d, bd.Blocks[bi].MaxComponentRadius)
+			}
+		}
+	}
+}
+
+func TestDecomposeGeometricEdgeDecay(t *testing.T) {
+	// With beta = 1/2 the expected cut is half the edges; check the block
+	// sizes decay overall (first block holds more than the average).
+	g := graph.Torus2D(30, 30)
+	bd, err := Decompose(g, 0.5, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bd.Blocks) < 2 {
+		t.Skip("single block; nothing to compare")
+	}
+	first := len(bd.Blocks[0].Edges)
+	avg := float64(bd.EdgeCount()) / float64(bd.NumBlocks())
+	if float64(first) < avg {
+		t.Errorf("first block %d below average %g — decay shape broken", first, avg)
+	}
+}
+
+func TestDecomposeRejectsBadBeta(t *testing.T) {
+	if _, err := Decompose(graph.Path(4), 0, 0, 0); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestDecomposeEdgelessGraph(t *testing.T) {
+	g, _ := graph.FromEdges(5, nil)
+	bd, err := Decompose(g, 0.5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.NumBlocks() != 0 {
+		t.Errorf("edgeless graph: %d blocks", bd.NumBlocks())
+	}
+}
+
+func TestDecomposeDeterministic(t *testing.T) {
+	g := graph.GNM(150, 500, 9)
+	a, err := Decompose(g, 0.5, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decompose(g, 0.5, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumBlocks() != b.NumBlocks() {
+		t.Fatalf("block counts differ: %d vs %d", a.NumBlocks(), b.NumBlocks())
+	}
+	for i := range a.Blocks {
+		if len(a.Blocks[i].Edges) != len(b.Blocks[i].Edges) {
+			t.Fatalf("block %d sizes differ", i)
+		}
+	}
+}

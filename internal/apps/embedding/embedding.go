@@ -1,0 +1,181 @@
+// Package embedding builds hierarchical tree-metric embeddings of
+// unweighted graphs by recursive low-diameter decomposition — the Bartal /
+// FRT style application the paper's Section 2 relates its partition scheme
+// to ("similar approaches have been used ... for the Bartal trees"; the
+// random permutation view "is perhaps closer to the use of random
+// permutations in the optimal tree-metric embedding algorithm [16]").
+//
+// Level i decomposes every current piece with a diameter target Δ/2^i
+// (choosing β = Θ(log n / target)); the decomposition tree with edge length
+// proportional to the level target is a dominating tree metric whose
+// expected distortion the E16 experiment measures. With strong-diameter
+// pieces from Partition the construction stays nearly-linear work — the
+// property the paper emphasizes against quadratic weak-diameter schemes.
+package embedding
+
+import (
+	"math"
+
+	"mpx/internal/bfs"
+	"mpx/internal/core"
+	"mpx/internal/graph"
+	"mpx/internal/xrand"
+)
+
+// Tree is a hierarchical decomposition tree over the vertices of a graph.
+type Tree struct {
+	// G is the embedded graph.
+	G *graph.Graph
+	// Levels is the depth of the hierarchy.
+	Levels int
+	// parent[l][v] is the piece id (center, in level-l numbering of the
+	// original ids) containing v at level l; level 0 is the coarsest.
+	assignment [][]uint32
+	// length[l] is the tree edge length between level l and l+1 nodes.
+	length []float64
+}
+
+// Build constructs the hierarchy with initial diameter target diam0 (pass
+// 0 to use the graph's pseudo-diameter) halving per level.
+func Build(g *graph.Graph, diam0 float64, seed uint64) (*Tree, error) {
+	n := g.NumVertices()
+	t := &Tree{G: g}
+	if n == 0 {
+		return t, nil
+	}
+	if diam0 <= 0 {
+		diam0 = float64(bfs.PseudoDiameter(g, 0))
+		if diam0 < 1 {
+			diam0 = 1
+		}
+	}
+	logn := math.Log(float64(n) + 1)
+
+	// current[v] = piece id of v at the previous level; coarsest level is a
+	// single pseudo-piece per connected component, realized by decomposing
+	// the whole graph with the full diameter target.
+	target := diam0
+	level := 0
+	for target >= 1 {
+		beta := math.Min(0.9, 2*logn/target)
+		d, err := core.Partition(g, beta, core.Options{Seed: xrand.Mix(seed, uint64(level))})
+		if err != nil {
+			return nil, err
+		}
+		// Refine against the previous level: a piece may not span two
+		// parent pieces, so the effective piece id is the pair (parent
+		// piece, new piece), canonicalized by hashing into the new center
+		// when parents agree and splitting otherwise.
+		assign := make([]uint32, n)
+		if level == 0 {
+			copy(assign, d.Center)
+		} else {
+			prev := t.assignment[level-1]
+			// Composite key (prev piece, new center) -> dense id; the dense
+			// id is the smallest vertex with that key so ids stay stable.
+			type key struct{ a, b uint32 }
+			repr := make(map[key]uint32)
+			for v := 0; v < n; v++ {
+				k := key{prev[v], d.Center[v]}
+				if _, ok := repr[k]; !ok {
+					repr[k] = uint32(v)
+				}
+			}
+			for v := 0; v < n; v++ {
+				assign[v] = repr[key{prev[v], d.Center[v]}]
+			}
+		}
+		t.assignment = append(t.assignment, assign)
+		t.length = append(t.length, target)
+		level++
+		target /= 2
+		if level > 60 {
+			break
+		}
+	}
+	// Final level: every vertex its own leaf. Pieces at the last Partition
+	// level still have radius up to ~δ_max(β=0.9) ≈ ln n, so the leaf edge
+	// carries length ln(n)+1 to keep the tree metric dominating for pairs
+	// that only separate here (the O(log n) bottom term every tree
+	// embedding of an unweighted graph pays).
+	leaf := make([]uint32, n)
+	for v := range leaf {
+		leaf[v] = uint32(v)
+	}
+	t.assignment = append(t.assignment, leaf)
+	t.length = append(t.length, logn+1)
+	t.Levels = len(t.assignment)
+	return t, nil
+}
+
+// Dist returns the tree-metric distance between u and v: twice the sum of
+// level lengths below their lowest common level of agreement.
+func (t *Tree) Dist(u, v uint32) float64 {
+	if u == v {
+		return 0
+	}
+	// Find the first level where they separate.
+	sep := -1
+	for l := 0; l < t.Levels; l++ {
+		if t.assignment[l][u] != t.assignment[l][v] {
+			sep = l
+			break
+		}
+	}
+	if sep == -1 {
+		return 0
+	}
+	var sum float64
+	for l := sep; l < t.Levels; l++ {
+		sum += t.length[l]
+	}
+	return 2 * sum
+}
+
+// DistortionStats summarizes measured distortion over sampled vertex pairs.
+type DistortionStats struct {
+	Pairs          int
+	MeanDistortion float64
+	MaxDistortion  float64
+	// DominatedFrac is the fraction of sampled pairs with
+	// dist_T >= dist_G (tree metrics must dominate; measured to verify).
+	DominatedFrac float64
+}
+
+// MeasureDistortion samples vertex pairs within one component and compares
+// tree distance to true graph distance.
+func (t *Tree) MeasureDistortion(pairs int, seed uint64) DistortionStats {
+	n := t.G.NumVertices()
+	if n < 2 || pairs <= 0 {
+		return DistortionStats{}
+	}
+	rng := xrand.NewSplitMix64(seed)
+	var st DistortionStats
+	var sum float64
+	dominated := 0
+	for st.Pairs < pairs {
+		u := uint32(rng.Intn(n))
+		dist := bfs.Sequential(t.G, u)
+		// Sample a handful of targets per BFS to amortize its cost.
+		for k := 0; k < 8 && st.Pairs < pairs; k++ {
+			v := uint32(rng.Intn(n))
+			if v == u || dist[v] == bfs.Unreached {
+				continue
+			}
+			dg := float64(dist[v])
+			dt := t.Dist(u, v)
+			distortion := dt / dg
+			sum += distortion
+			if distortion > st.MaxDistortion {
+				st.MaxDistortion = distortion
+			}
+			if dt >= dg-1e-9 {
+				dominated++
+			}
+			st.Pairs++
+		}
+	}
+	st.MeanDistortion = sum / float64(st.Pairs)
+	st.DominatedFrac = float64(dominated) / float64(st.Pairs)
+	return st
+}

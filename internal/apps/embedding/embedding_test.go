@@ -1,0 +1,123 @@
+package embedding
+
+import (
+	"testing"
+
+	"mpx/internal/graph"
+)
+
+func TestBuildBasicShape(t *testing.T) {
+	g := graph.Grid2D(15, 15)
+	tr, err := Build(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Levels < 3 {
+		t.Errorf("expected several levels, got %d", tr.Levels)
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	g := graph.Grid2D(12, 12)
+	tr, err := Build(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity, symmetry, positivity.
+	if tr.Dist(5, 5) != 0 {
+		t.Error("Dist(v,v) != 0")
+	}
+	for u := uint32(0); u < 12; u++ {
+		for v := u + 1; v < 24; v += 3 {
+			a, b := tr.Dist(u, v), tr.Dist(v, u)
+			if a != b {
+				t.Fatalf("asymmetric: Dist(%d,%d)=%g Dist(%d,%d)=%g", u, v, a, v, u, b)
+			}
+			if a <= 0 {
+				t.Fatalf("non-positive distance for distinct vertices: %g", a)
+			}
+		}
+	}
+}
+
+func TestTreeMetricUltrametricInequality(t *testing.T) {
+	// Hierarchical trees give an ultrametric-like bound:
+	// Dist(u,w) <= max(Dist(u,v), Dist(v,w)) for all triples, because
+	// separation levels satisfy sep(u,w) >= min(sep(u,v), sep(v,w)).
+	g := graph.GNM(60, 180, 3)
+	tr, err := Build(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := uint32(0); u < 20; u++ {
+		for v := uint32(20); v < 40; v += 2 {
+			for w := uint32(40); w < 60; w += 3 {
+				duw := tr.Dist(u, w)
+				duv, dvw := tr.Dist(u, v), tr.Dist(v, w)
+				max := duv
+				if dvw > max {
+					max = dvw
+				}
+				if duw > max+1e-9 {
+					t.Fatalf("ultrametric violated: d(%d,%d)=%g > max(%g,%g)", u, w, duw, duv, dvw)
+				}
+			}
+		}
+	}
+}
+
+func TestMeasureDistortionDominates(t *testing.T) {
+	g := graph.Grid2D(20, 20)
+	tr, err := Build(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.MeasureDistortion(100, 7)
+	if st.Pairs != 100 {
+		t.Fatalf("sampled %d pairs", st.Pairs)
+	}
+	if st.DominatedFrac < 0.99 {
+		t.Errorf("tree metric dominates only %.2f of pairs", st.DominatedFrac)
+	}
+	if st.MeanDistortion < 1 {
+		t.Errorf("mean distortion %g below 1", st.MeanDistortion)
+	}
+	// Polylog shape guard: distortion should not be anywhere near n.
+	if st.MaxDistortion > 200 {
+		t.Errorf("max distortion %g absurd for 400-vertex grid", st.MaxDistortion)
+	}
+}
+
+func TestEmptyAndTrivialGraphs(t *testing.T) {
+	empty, _ := graph.FromEdges(0, nil)
+	if _, err := Build(empty, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	single, _ := graph.FromEdges(1, nil)
+	tr, err := Build(single, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.MeasureDistortion(10, 1); st.Pairs != 0 {
+		t.Error("no pairs to sample on a single vertex")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	g := graph.Torus2D(10, 10)
+	a, err := Build(g, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := uint32(0); u < 100; u += 7 {
+		for v := uint32(1); v < 100; v += 11 {
+			if a.Dist(u, v) != b.Dist(u, v) {
+				t.Fatalf("nondeterministic embedding at (%d,%d)", u, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package lowstretch builds low-stretch spanning trees with the
+// decompose-and-contract scheme of Alon, Karp, Peleg and West (AKPW), using
+// the paper's Partition as the decomposition step — the application the
+// paper names as its main target (the tree-embedding pipeline behind the
+// parallel SDD solvers of Blelloch et al.).
+//
+// Each level runs a low-diameter decomposition of the current (contracted)
+// graph, adds every cluster's BFS tree to the spanning forest — mapped back
+// to original edges — and contracts clusters into super-vertices. Because
+// each level keeps only the O(β) fraction of cut edges, the hierarchy has
+// O(log n / log(1/β))-ish depth and the resulting tree stretches an average
+// edge by a polylog factor, versus the Θ(diameter) stretch a naive BFS tree
+// can suffer.
+package lowstretch
+
+import (
+	"errors"
+
+	"mpx/internal/core"
+	"mpx/internal/graph"
+	"mpx/internal/xrand"
+)
+
+// Tree is a spanning forest of the original graph with LCA-based distance
+// queries.
+type Tree struct {
+	// G is the original graph.
+	G *graph.Graph
+	// Edges are the tree edges (original vertex ids).
+	Edges []graph.Edge
+	// Levels is the number of decompose-and-contract levels used.
+	Levels int
+
+	depth  []int32
+	order  []int32 // first visit position of each vertex in the Euler tour
+	euler  []uint32
+	sparse [][]uint32 // sparse table over euler positions, min by depth
+	comp   []int32    // connected component labels (forest support)
+}
+
+// Build constructs a low-stretch spanning forest of g with decomposition
+// parameter beta at every level.
+func Build(g *graph.Graph, beta float64, seed uint64) (*Tree, error) {
+	if beta <= 0 || beta >= 1 {
+		return nil, core.ErrBeta
+	}
+	n := g.NumVertices()
+	t := &Tree{G: g}
+	if n == 0 {
+		return t, nil
+	}
+
+	// Annotated contracted edge: endpoints in the current contracted graph
+	// plus the original edge it represents.
+	type annEdge struct {
+		u, v         uint32
+		origU, origV uint32
+	}
+	cur := make([]annEdge, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		cur = append(cur, annEdge{e.U, e.V, e.U, e.V})
+	}
+	curN := n
+
+	for level := 0; ; level++ {
+		if len(cur) == 0 {
+			break
+		}
+		if level > 64 {
+			return nil, errors.New("lowstretch: contraction failed to converge")
+		}
+		// Dedup parallel contracted edges, keeping the first annotation.
+		type key uint64
+		rep := make(map[key]annEdge, len(cur))
+		plain := make([]graph.Edge, 0, len(cur))
+		for _, e := range cur {
+			a, b := e.u, e.v
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			k := key(uint64(a)<<32 | uint64(b))
+			if _, ok := rep[k]; !ok {
+				rep[k] = e
+				plain = append(plain, graph.Edge{U: a, V: b})
+			}
+		}
+		if len(plain) == 0 {
+			break
+		}
+		cg, err := graph.FromEdges(curN, plain)
+		if err != nil {
+			return nil, err
+		}
+		d, err := core.Partition(cg, beta, core.Options{Seed: xrand.Mix(seed, uint64(level))})
+		if err != nil {
+			return nil, err
+		}
+		t.Levels++
+		// Per-cluster BFS tree edges -> original tree edges.
+		for v := 0; v < curN; v++ {
+			p := d.Parent[v]
+			if p == uint32(v) {
+				continue
+			}
+			a, b := p, uint32(v)
+			if a > b {
+				a, b = b, a
+			}
+			e := rep[key(uint64(a)<<32|uint64(b))]
+			t.Edges = append(t.Edges, graph.Edge{U: e.origU, V: e.origV})
+		}
+		// Contract: super-vertex per cluster center, dense renumbering.
+		remap := make(map[uint32]uint32)
+		for v := 0; v < curN; v++ {
+			c := d.Center[v]
+			if _, ok := remap[c]; !ok {
+				remap[c] = uint32(len(remap))
+			}
+		}
+		var next []annEdge
+		for _, e := range cur {
+			cu, cv := d.Center[e.u], d.Center[e.v]
+			if cu == cv {
+				continue
+			}
+			next = append(next, annEdge{remap[cu], remap[cv], e.origU, e.origV})
+		}
+		cur = next
+		curN = len(remap)
+		if curN <= 1 {
+			break
+		}
+	}
+	if err := t.index(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BFSTree returns the baseline spanning forest: a plain BFS tree from the
+// smallest vertex of each component. Used as the comparison arm of
+// experiment E12.
+func BFSTree(g *graph.Graph) (*Tree, error) {
+	n := g.NumVertices()
+	t := &Tree{G: g}
+	visited := make([]bool, n)
+	var queue []uint32
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue = append(queue[:0], uint32(s))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, u := range g.Neighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					t.Edges = append(t.Edges, graph.Edge{U: v, V: u})
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	t.Levels = 1
+	if err := t.index(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// index builds depth arrays, the Euler tour and the sparse table for O(1)
+// LCA queries, and verifies the edge set is acyclic and spanning.
+func (t *Tree) index() error {
+	n := t.G.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	adj := make([][]uint32, n)
+	for _, e := range t.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	t.depth = make([]int32, n)
+	t.order = make([]int32, n)
+	t.comp = make([]int32, n)
+	for i := range t.order {
+		t.order[i] = -1
+		t.comp[i] = -1
+	}
+	t.euler = t.euler[:0]
+	comp := int32(0)
+	visited := 0
+	// Iterative DFS with an explicit stack; emits the Euler tour.
+	type frame struct {
+		v    uint32
+		next int
+	}
+	for root := 0; root < n; root++ {
+		if t.order[root] != -1 {
+			continue
+		}
+		stack := []frame{{uint32(root), 0}}
+		t.depth[root] = 0
+		t.comp[root] = comp
+		t.order[root] = int32(len(t.euler))
+		t.euler = append(t.euler, uint32(root))
+		visited++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.next < len(adj[f.v]) {
+				u := adj[f.v][f.next]
+				f.next++
+				if t.order[u] != -1 {
+					continue
+				}
+				t.depth[u] = t.depth[f.v] + 1
+				t.comp[u] = comp
+				t.order[u] = int32(len(t.euler))
+				t.euler = append(t.euler, u)
+				visited++
+				stack = append(stack, frame{u, 0})
+				advanced = true
+				break
+			}
+			if !advanced {
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					t.euler = append(t.euler, stack[len(stack)-1].v)
+				}
+			}
+		}
+		comp++
+	}
+	if visited != n {
+		return errors.New("lowstretch: tree does not span the graph")
+	}
+	// Tree edge count check: acyclic + spanning per component.
+	if len(t.Edges) != n-int(comp) {
+		return errors.New("lowstretch: edge set is not a spanning forest")
+	}
+	t.buildSparse()
+	return nil
+}
+
+func (t *Tree) buildSparse() {
+	m := len(t.euler)
+	if m == 0 {
+		return
+	}
+	levels := 1
+	for 1<<levels <= m {
+		levels++
+	}
+	t.sparse = make([][]uint32, levels)
+	t.sparse[0] = make([]uint32, m)
+	copy(t.sparse[0], t.euler)
+	for k := 1; k < levels; k++ {
+		span := 1 << k
+		row := make([]uint32, m-span+1)
+		prev := t.sparse[k-1]
+		for i := range row {
+			a, b := prev[i], prev[i+span/2]
+			if t.depth[a] <= t.depth[b] {
+				row[i] = a
+			} else {
+				row[i] = b
+			}
+		}
+		t.sparse[k] = row
+	}
+}
+
+// LCA returns the lowest common ancestor of u and v, which must lie in the
+// same component.
+func (t *Tree) LCA(u, v uint32) uint32 {
+	a, b := t.order[u], t.order[v]
+	if a > b {
+		a, b = b, a
+	}
+	span := int(b - a + 1)
+	k := 0
+	for 1<<(k+1) <= span {
+		k++
+	}
+	x, y := t.sparse[k][a], t.sparse[k][int(b)-(1<<k)+1]
+	if t.depth[x] <= t.depth[y] {
+		return x
+	}
+	return y
+}
+
+// Dist returns the tree distance between u and v, or -1 if they lie in
+// different components.
+func (t *Tree) Dist(u, v uint32) int32 {
+	if t.comp[u] != t.comp[v] {
+		return -1
+	}
+	l := t.LCA(u, v)
+	return t.depth[u] + t.depth[v] - 2*t.depth[l]
+}
+
+// StretchStats summarizes edge stretch over the whole edge set: for every
+// original edge {u,v}, its stretch is Dist(u,v) (the edge has length 1).
+type StretchStats struct {
+	Edges int64
+	Mean  float64
+	Max   int32
+	Total float64
+}
+
+// Stretch computes exact stretch statistics over every original edge using
+// O(1) LCA queries.
+func (t *Tree) Stretch() StretchStats {
+	var st StretchStats
+	for v := 0; v < t.G.NumVertices(); v++ {
+		for _, u := range t.G.Neighbors(uint32(v)) {
+			if uint32(v) >= u {
+				continue
+			}
+			d := t.Dist(uint32(v), u)
+			if d < 0 {
+				continue // different components cannot happen for real edges
+			}
+			st.Edges++
+			st.Total += float64(d)
+			if d > st.Max {
+				st.Max = d
+			}
+		}
+	}
+	if st.Edges > 0 {
+		st.Mean = st.Total / float64(st.Edges)
+	}
+	return st
+}

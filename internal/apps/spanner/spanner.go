@@ -1,0 +1,149 @@
+// Package spanner builds sparse spanners from low-diameter decompositions,
+// one of the classical applications the paper's introduction cites (Cohen,
+// SICOMP 1998). A single decomposition level yields an O(log n / β)-stretch
+// spanner consisting of the per-cluster BFS trees plus one representative
+// edge for every adjacent cluster pair.
+//
+// For an intra-cluster edge the detour through the cluster center has
+// length at most 2·radius; for an inter-cluster edge {u,v} the detour
+// through the representative edge between the two clusters has length at
+// most 4·radius + 1. With radius O(log n/β), the stretch is O(log n/β)
+// while the spanner keeps at most (n − #clusters) + #clusterPairs edges.
+package spanner
+
+import (
+	"fmt"
+	"sort"
+
+	"mpx/internal/bfs"
+	"mpx/internal/core"
+	"mpx/internal/graph"
+	"mpx/internal/xrand"
+)
+
+// Spanner is a subgraph H of G with bounded multiplicative stretch.
+type Spanner struct {
+	// G is the original graph.
+	G *graph.Graph
+	// H is the spanner subgraph on the same vertex set.
+	H *graph.Graph
+	// Decomposition is the LDD the spanner was built from.
+	Decomposition *core.Decomposition
+	// TreeEdges and BridgeEdges count the two edge classes.
+	TreeEdges, BridgeEdges int64
+}
+
+// Build constructs a spanner from one decomposition with parameter beta.
+func Build(g *graph.Graph, beta float64, opts core.Options) (*Spanner, error) {
+	d, err := core.Partition(g, beta, opts)
+	if err != nil {
+		return nil, err
+	}
+	var edges []graph.Edge
+	var treeEdges int64
+	for v := 0; v < g.NumVertices(); v++ {
+		if p := d.Parent[v]; p != uint32(v) {
+			edges = append(edges, graph.Edge{U: p, V: uint32(v)})
+			treeEdges++
+		}
+	}
+	// One representative edge per unordered pair of adjacent clusters; the
+	// lexicographically smallest such edge, for determinism.
+	type pairKey struct{ a, b uint32 }
+	bridges := make(map[pairKey]graph.Edge)
+	for v := 0; v < g.NumVertices(); v++ {
+		cv := d.Center[v]
+		for _, u := range g.Neighbors(uint32(v)) {
+			cu := d.Center[u]
+			if cu == cv || uint32(v) > u {
+				continue
+			}
+			k := pairKey{cv, cu}
+			if k.a > k.b {
+				k.a, k.b = k.b, k.a
+			}
+			e := graph.Edge{U: uint32(v), V: u}
+			if old, ok := bridges[k]; !ok || less(e, old) {
+				bridges[k] = e
+			}
+		}
+	}
+	keys := make([]pairKey, 0, len(bridges))
+	for k := range bridges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		edges = append(edges, bridges[k])
+	}
+	h, err := graph.FromEdgesDedup(g.NumVertices(), edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Spanner{
+		G:             g,
+		H:             h,
+		Decomposition: d,
+		TreeEdges:     treeEdges,
+		BridgeEdges:   int64(len(bridges)),
+	}, nil
+}
+
+func less(a, b graph.Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// StretchStats summarizes measured stretch over sampled original edges.
+type StretchStats struct {
+	Samples int
+	Mean    float64
+	Max     float64
+	// TheoryBound is the 4·radius+1 worst-case bound from the construction.
+	TheoryBound float64
+}
+
+// MeasureStretch samples up to maxSamples original edges uniformly and
+// measures their stretch in the spanner: dist_H(u,v) / dist_G(u,v) with
+// dist_G(u,v) = 1 for an edge. Each sample costs one BFS on H.
+func (s *Spanner) MeasureStretch(maxSamples int, seed uint64) StretchStats {
+	edges := s.G.Edges()
+	if len(edges) == 0 {
+		return StretchStats{}
+	}
+	rng := xrand.NewSplitMix64(seed)
+	idx := rng.Perm(len(edges))
+	if maxSamples > len(idx) {
+		maxSamples = len(idx)
+	}
+	stats := StretchStats{
+		Samples:     maxSamples,
+		TheoryBound: float64(4*s.Decomposition.MaxRadius() + 1),
+	}
+	var sum float64
+	for i := 0; i < maxSamples; i++ {
+		e := edges[idx[i]]
+		dist := bfs.Sequential(s.H, e.U)
+		st := float64(dist[e.V])
+		if dist[e.V] == bfs.Unreached {
+			// Spanners preserve connectivity; this would be a bug.
+			panic(fmt.Sprintf("spanner: edge {%d,%d} disconnected in spanner", e.U, e.V))
+		}
+		sum += st
+		if st > stats.Max {
+			stats.Max = st
+		}
+	}
+	stats.Mean = sum / float64(maxSamples)
+	return stats
+}
+
+// Size returns the number of spanner edges.
+func (s *Spanner) Size() int64 { return s.H.NumEdges() }

@@ -1,0 +1,105 @@
+package spanner
+
+import (
+	"testing"
+
+	"mpx/internal/core"
+	"mpx/internal/graph"
+)
+
+func TestBuildOnGrid(t *testing.T) {
+	g := graph.Grid2D(25, 25)
+	s, err := Build(g, 0.2, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() >= g.NumEdges() {
+		t.Errorf("spanner has %d edges, original %d — no sparsification", s.Size(), g.NumEdges())
+	}
+	if !graph.IsConnected(s.H) {
+		t.Error("spanner of a connected graph must be connected")
+	}
+	st := s.MeasureStretch(50, 7)
+	if st.Max > st.TheoryBound {
+		t.Errorf("measured stretch %g exceeds theory bound %g", st.Max, st.TheoryBound)
+	}
+	if st.Mean < 1 {
+		t.Errorf("mean stretch %g below 1", st.Mean)
+	}
+}
+
+func TestBuildPreservesConnectivityOnFamilies(t *testing.T) {
+	cases := []*graph.Graph{
+		graph.GNM(200, 800, 3),
+		graph.Complete(40),
+		graph.Hypercube(7),
+		graph.RMAT(8, 1500, 9),
+	}
+	for gi, g0 := range cases {
+		g, _ := graph.LargestComponent(g0)
+		s, err := Build(g, 0.3, core.Options{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.IsConnected(s.H) {
+			t.Errorf("graph %d: spanner disconnected", gi)
+		}
+		if s.Size() > g.NumEdges() {
+			t.Errorf("graph %d: spanner larger than graph", gi)
+		}
+	}
+}
+
+func TestSpannerEdgeClassesAccount(t *testing.T) {
+	g := graph.Grid2D(20, 20)
+	s, err := Build(g, 0.25, core.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree edges = n - #clusters; bridges at most cluster pairs; dedup can
+	// only shrink the union.
+	wantTree := int64(g.NumVertices() - s.Decomposition.NumClusters())
+	if s.TreeEdges != wantTree {
+		t.Errorf("tree edges %d want %d", s.TreeEdges, wantTree)
+	}
+	if s.Size() > s.TreeEdges+s.BridgeEdges {
+		t.Errorf("size %d exceeds tree+bridge %d", s.Size(), s.TreeEdges+s.BridgeEdges)
+	}
+}
+
+func TestSpannerSparserAtLowerBeta(t *testing.T) {
+	g := graph.Torus2D(30, 30)
+	lo, err := Build(g, 0.05, core.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Build(g, 0.5, core.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower beta -> fewer clusters -> fewer bridges (on bounded-degree
+	// graphs the bridge count tracks cluster adjacency).
+	if lo.BridgeEdges >= hi.BridgeEdges {
+		t.Errorf("bridges: lo=%d hi=%d, expected growth with beta", lo.BridgeEdges, hi.BridgeEdges)
+	}
+}
+
+func TestBuildRejectsBadBeta(t *testing.T) {
+	if _, err := Build(graph.Path(4), 0, core.Options{}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestSpannerEmptyGraph(t *testing.T) {
+	g, _ := graph.FromEdges(0, nil)
+	s, err := Build(g, 0.2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 0 {
+		t.Error("empty graph spanner should be empty")
+	}
+	if st := s.MeasureStretch(10, 1); st.Samples != 0 {
+		t.Error("no samples expected")
+	}
+}

@@ -1,0 +1,339 @@
+// Package bfs provides breadth-first-search routines over the CSR graph
+// substrate: a sequential reference, a level-synchronous parallel top-down
+// BFS with CAS-claimed frontiers, a direction-optimizing hybrid in the style
+// of Beamer et al. (SC 2012, cited as [8] by the paper), and a multi-source
+// BFS with per-source delayed start times — the primitive the paper's
+// Section 5 reduces the Partition algorithm to.
+package bfs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"mpx/internal/graph"
+	"mpx/internal/parallel"
+)
+
+// Unreached marks vertices not reached by a search.
+const Unreached int32 = -1
+
+// Sequential computes BFS distances from source; dist[v] == Unreached for
+// unreachable vertices.
+func Sequential(g *graph.Graph, source uint32) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[source] = 0
+	queue := make([]uint32, 0, 64)
+	queue = append(queue, source)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == Unreached {
+				dist[w] = dv + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Result carries the output of a parallel search.
+type Result struct {
+	Dist    []int32  // per-vertex distance, Unreached if not visited
+	Parent  []uint32 // per-vertex BFS parent (self for sources/unreached)
+	Rounds  int      // number of synchronous rounds executed (depth proxy)
+	Relaxed int64    // directed edges examined (work proxy)
+}
+
+// Parallel computes BFS distances from source using level-synchronous
+// top-down expansion with atomic frontier claiming across the given number
+// of workers. The visit order within a round is nondeterministic but the
+// distances (and Rounds/Relaxed counters) are not.
+func Parallel(g *graph.Graph, source uint32, workers int) *Result {
+	return ParallelMulti(g, []uint32{source}, workers)
+}
+
+// ParallelMulti is Parallel from a set of simultaneous sources (all at
+// distance 0). Parents are the claiming neighbor; for equal-distance claims
+// the parent is scheduling-dependent but the distance is not.
+func ParallelMulti(g *graph.Graph, sources []uint32, workers int) *Result {
+	n := g.NumVertices()
+	res := &Result{
+		Dist:   make([]int32, n),
+		Parent: make([]uint32, n),
+	}
+	state := make([]int32, n) // 0 = unvisited, 1 = claimed; CAS target
+	parallel.ForRange(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			res.Dist[i] = Unreached
+			res.Parent[i] = uint32(i)
+		}
+	})
+	frontier := make([]uint32, 0, len(sources))
+	for _, s := range sources {
+		if atomic.CompareAndSwapInt32(&state[s], 0, 1) {
+			res.Dist[s] = 0
+			frontier = append(frontier, s)
+		}
+	}
+	var relaxed int64
+	depth := int32(0)
+	for len(frontier) > 0 {
+		depth++
+		next := expandTopDown(g, frontier, state, res.Dist, res.Parent, depth, workers, &relaxed)
+		frontier = next
+		res.Rounds++
+	}
+	res.Relaxed = relaxed
+	return res
+}
+
+// expandTopDown claims all unvisited neighbors of the frontier at distance
+// depth, returning the new frontier. Per-worker buffers are concatenated in
+// worker order.
+func expandTopDown(g *graph.Graph, frontier []uint32, state []int32,
+	dist []int32, parent []uint32, depth int32, workers int, relaxed *int64) []uint32 {
+
+	w := parallel.Workers(workers, len(frontier))
+	buffers := make([][]uint32, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo := k * len(frontier) / w
+		hi := (k + 1) * len(frontier) / w
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			var buf []uint32
+			var local int64
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				for _, u := range g.Neighbors(v) {
+					local++
+					if atomic.LoadInt32(&state[u]) == 0 &&
+						atomic.CompareAndSwapInt32(&state[u], 0, 1) {
+						dist[u] = depth
+						parent[u] = v
+						buf = append(buf, u)
+					}
+				}
+			}
+			buffers[k] = buf
+			atomic.AddInt64(relaxed, local)
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	var total int
+	for _, b := range buffers {
+		total += len(b)
+	}
+	next := make([]uint32, 0, total)
+	for _, b := range buffers {
+		next = append(next, b...)
+	}
+	return next
+}
+
+// DirectionOptimizing runs the Beamer-style hybrid BFS: top-down expansion
+// while the frontier is small, switching to bottom-up sweeps when the
+// frontier's outgoing arc count exceeds 1/alpha of the remaining arcs, and
+// back to top-down once the frontier shrinks below n/beta (without the
+// switch-back, high-diameter graphs pay O(n·diameter) bottom-up scans).
+// alpha=15, beta=24 are the conventional settings.
+func DirectionOptimizing(g *graph.Graph, source uint32, workers int) *Result {
+	const alpha = 15
+	const betaDown = 24
+	n := g.NumVertices()
+	res := &Result{
+		Dist:   make([]int32, n),
+		Parent: make([]uint32, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Unreached
+		res.Parent[i] = uint32(i)
+	}
+	inFrontier := make([]bool, n)
+	state := make([]int32, n)
+	res.Dist[source] = 0
+	state[source] = 1
+	frontier := []uint32{source}
+	remainingArcs := g.NumArcs()
+	depth := int32(0)
+	var relaxed int64
+	bottomUp := false
+	for len(frontier) > 0 {
+		depth++
+		res.Rounds++
+		var frontierArcs int64
+		for _, v := range frontier {
+			frontierArcs += int64(g.Degree(v))
+		}
+		remainingArcs -= frontierArcs
+		if bottomUp {
+			// Return to top-down once the frontier is small again.
+			bottomUp = len(frontier) >= n/betaDown
+		} else {
+			bottomUp = frontierArcs*alpha > remainingArcs
+		}
+		if bottomUp {
+			// Bottom-up: every unvisited vertex scans its neighbors for a
+			// frontier member. Side effects live outside the Pack predicate
+			// (Pack evaluates it twice: count and fill), so the sweep runs
+			// once with a plain parallel loop into a claim array.
+			for i := range inFrontier {
+				inFrontier[i] = false
+			}
+			for _, v := range frontier {
+				inFrontier[v] = true
+			}
+			claimedAt := make([]int32, n)
+			parallel.ForRange(workers, n, func(lo, hi int) {
+				var local int64
+				for i := lo; i < hi; i++ {
+					if state[i] != 0 {
+						continue
+					}
+					for _, u := range g.Neighbors(uint32(i)) {
+						local++
+						if inFrontier[u] {
+							res.Dist[i] = depth
+							res.Parent[i] = u
+							claimedAt[i] = 1
+							break
+						}
+					}
+				}
+				atomic.AddInt64(&relaxed, local)
+			})
+			next := parallel.Pack(workers, n, func(i int) bool { return claimedAt[i] == 1 })
+			for _, v := range next {
+				state[v] = 1
+			}
+			frontier = next
+		} else {
+			frontier = expandTopDown(g, frontier, state, res.Dist, res.Parent, depth, workers, &relaxed)
+		}
+	}
+	res.Relaxed = relaxed
+	return res
+}
+
+// Eccentricity returns max_v dist(source, v) over reached vertices, and the
+// number reached.
+func Eccentricity(g *graph.Graph, source uint32) (ecc int32, reached int) {
+	dist := Sequential(g, source)
+	for _, d := range dist {
+		if d != Unreached {
+			reached++
+			if d > ecc {
+				ecc = d
+			}
+		}
+	}
+	return ecc, reached
+}
+
+// PseudoDiameter estimates the diameter with the standard double-sweep
+// heuristic: BFS from start, then BFS from the farthest vertex found. For
+// trees the result is exact.
+func PseudoDiameter(g *graph.Graph, start uint32) int32 {
+	dist := Sequential(g, start)
+	far := start
+	var best int32
+	for v, d := range dist {
+		if d != Unreached && d > best {
+			best = d
+			far = uint32(v)
+		}
+	}
+	dist = Sequential(g, far)
+	best = 0
+	for _, d := range dist {
+		if d != Unreached && d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// DijkstraWeighted computes single-source shortest-path distances on a
+// weighted graph with a binary heap; used as the oracle for the weighted
+// partition tests. Unreachable vertices get +Inf.
+func DijkstraWeighted(g *graph.WeightedGraph, source uint32) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	h := &floatHeap{}
+	h.push(heapItem{0, source})
+	for h.len() > 0 {
+		it := h.pop()
+		if it.key > dist[it.v] {
+			continue
+		}
+		nbrs, ws := g.Neighbors(it.v)
+		for i, u := range nbrs {
+			if nd := it.key + ws[i]; nd < dist[u] {
+				dist[u] = nd
+				h.push(heapItem{nd, u})
+			}
+		}
+	}
+	return dist
+}
+
+type heapItem struct {
+	key float64
+	v   uint32
+}
+
+// floatHeap is a minimal binary min-heap on (key, v); container/heap is
+// avoided to keep the hot loop allocation-free.
+type floatHeap struct {
+	items []heapItem
+}
+
+func (h *floatHeap) len() int { return len(h.items) }
+
+func (h *floatHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].key <= h.items[i].key {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *floatHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.items[l].key < h.items[small].key {
+			small = l
+		}
+		if r < last && h.items[r].key < h.items[small].key {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,228 @@
+package bfs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"mpx/internal/graph"
+	"mpx/internal/parallel"
+)
+
+// DeltaStepping computes single-source shortest paths on a positively
+// weighted graph with the Meyer–Sanders Δ-stepping algorithm: vertices are
+// bucketed by ⌊dist/Δ⌋ and each bucket is settled by parallel relaxation
+// rounds. It is the parallel engine behind the weighted partition
+// experiment (the paper's Section 6 notes that parallel depth in the
+// weighted setting is the open question — Δ-stepping is the standard
+// practical answer, and the experiment measures its round count).
+//
+// delta <= 0 picks the common heuristic Δ = max weight / average degree,
+// clamped to at least the minimum edge weight.
+func DeltaStepping(g *graph.WeightedGraph, source uint32, delta float64, workers int) *WeightedResult {
+	init := make([]float64, g.NumVertices())
+	for i := range init {
+		init[i] = math.Inf(1)
+	}
+	init[source] = 0
+	return DeltaSteppingMulti(g, init, delta, workers)
+}
+
+// DeltaSteppingMulti is Δ-stepping from an implicit super-source: init[v]
+// gives the starting distance of v (+Inf for non-sources). This is exactly
+// the shifted-shortest-path primitive of the paper's Section 5 lifted to
+// weighted graphs: PartitionWeightedParallel passes init[u] = δ_max − δ_u.
+func DeltaSteppingMulti(g *graph.WeightedGraph, init []float64, delta float64, workers int) *WeightedResult {
+	n := g.NumVertices()
+	res := &WeightedResult{
+		Dist:   make([]float64, n),
+		Parent: make([]uint32, n),
+	}
+	if n == 0 {
+		return res
+	}
+	minW, maxW := math.Inf(1), 0.0
+	var arcs int64
+	for v := 0; v < n; v++ {
+		_, ws := g.Neighbors(uint32(v))
+		for _, w := range ws {
+			if w < minW {
+				minW = w
+			}
+			if w > maxW {
+				maxW = w
+			}
+			arcs++
+		}
+	}
+	if delta <= 0 {
+		if arcs == 0 {
+			delta = 1
+		} else {
+			avgDeg := float64(arcs) / float64(n)
+			delta = maxW / math.Max(avgDeg, 1)
+			if delta < minW {
+				delta = minW
+			}
+		}
+	}
+	for i := range res.Dist {
+		res.Dist[i] = init[i]
+		res.Parent[i] = uint32(i)
+	}
+
+	// distBits holds the distance as atomically-updatable bits; positive
+	// float64 ordering matches uint64 ordering of their IEEE bits.
+	distBits := make([]uint64, n)
+	for i := range distBits {
+		distBits[i] = math.Float64bits(res.Dist[i])
+	}
+	parentW := make([]uint64, n)
+	for i := range parentW {
+		parentW[i] = uint64(i) // sources (and unreached) parent themselves
+	}
+
+	bucketOf := func(d float64) int { return int(d / delta) }
+	var buckets [][]uint32
+	inBucket := make([]int32, n) // bucket index+1 the vertex was last queued in
+	for v := 0; v < n; v++ {
+		if !math.IsInf(init[v], 1) {
+			b := bucketOf(init[v])
+			for b >= len(buckets) {
+				buckets = append(buckets, nil)
+			}
+			buckets[b] = append(buckets[b], uint32(v))
+			inBucket[v] = int32(b) + 1
+		}
+	}
+	if len(buckets) == 0 {
+		return res
+	}
+
+	relaxed := int64(0)
+	cur := 0
+	for cur < len(buckets) {
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		// Settle bucket cur with light-edge rounds until it stops changing.
+		frontier := buckets[cur]
+		buckets[cur] = nil
+		for len(frontier) > 0 {
+			res.Rounds++
+			next := relaxFrontier(g, frontier, distBits, parentW, delta, cur, workers, &relaxed,
+				func(v uint32, b int) {
+					for b >= len(buckets) {
+						buckets = append(buckets, nil)
+					}
+					buckets[b] = append(buckets[b], v)
+				}, inBucket, bucketOf)
+			frontier = next
+		}
+		cur++
+	}
+	for v := 0; v < n; v++ {
+		res.Dist[v] = math.Float64frombits(atomic.LoadUint64(&distBits[v]))
+		res.Parent[v] = uint32(atomic.LoadUint64(&parentW[v]))
+		if math.IsInf(res.Dist[v], 1) {
+			res.Parent[v] = uint32(v)
+		}
+	}
+	res.Relaxed = relaxed
+	return res
+}
+
+// WeightedResult is the output of a weighted parallel search.
+type WeightedResult struct {
+	Dist    []float64
+	Parent  []uint32
+	Rounds  int
+	Relaxed int64
+}
+
+// relaxFrontier relaxes all edges out of the frontier, returning vertices
+// whose new distance stays in bucket `cur` (they must be re-relaxed this
+// bucket); vertices falling in later buckets are enqueued via push.
+//
+// Distances are lowered with CAS on the IEEE bits (order-preserving for
+// non-negative floats). The relaxation is a fixpoint iteration, so races
+// only cause extra rounds, never wrong distances; parents are written by
+// the CAS winner and re-written on any later improvement, so the final
+// parent matches the final distance.
+func relaxFrontier(g *graph.WeightedGraph, frontier []uint32, distBits, parentW []uint64,
+	delta float64, cur int, workers int, relaxed *int64,
+	push func(uint32, int), inBucket []int32, bucketOf func(float64) int) []uint32 {
+
+	w := parallel.Workers(workers, len(frontier))
+	type enq struct {
+		v uint32
+		b int
+	}
+	buffers := make([][]enq, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo := k * len(frontier) / w
+		hi := (k + 1) * len(frontier) / w
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			var buf []enq
+			var local int64
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				dv := math.Float64frombits(atomic.LoadUint64(&distBits[v]))
+				nbrs, ws := g.Neighbors(v)
+				for j, u := range nbrs {
+					local++
+					nd := dv + ws[j]
+					for {
+						oldBits := atomic.LoadUint64(&distBits[u])
+						if math.Float64frombits(oldBits) <= nd {
+							break
+						}
+						if atomic.CompareAndSwapUint64(&distBits[u], oldBits, math.Float64bits(nd)) {
+							atomic.StoreUint64(&parentW[u], uint64(v))
+							buf = append(buf, enq{u, bucketOf(nd)})
+							break
+						}
+					}
+				}
+			}
+			buffers[k] = buf
+			atomic.AddInt64(relaxed, local)
+		}(k, lo, hi)
+	}
+	wg.Wait()
+
+	var same []uint32
+	for _, buf := range buffers {
+		for _, e := range buf {
+			if e.b <= cur {
+				// Still in (or before) the current bucket: re-relax now.
+				same = append(same, e.v)
+			} else if inBucket[e.v] != int32(e.b)+1 {
+				inBucket[e.v] = int32(e.b) + 1
+				push(e.v, e.b)
+			}
+		}
+	}
+	return dedup(same)
+}
+
+// dedup removes duplicate vertex ids (a vertex improved by several frontier
+// members in one round appears once in the next round).
+func dedup(vs []uint32) []uint32 {
+	if len(vs) < 2 {
+		return vs
+	}
+	seen := make(map[uint32]struct{}, len(vs))
+	out := vs[:0]
+	for _, v := range vs {
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}

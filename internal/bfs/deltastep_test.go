@@ -1,0 +1,158 @@
+package bfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpx/internal/graph"
+)
+
+func unitWeighted(g *graph.Graph) *graph.WeightedGraph {
+	var wedges []graph.WeightedEdge
+	for _, e := range g.Edges() {
+		wedges = append(wedges, graph.WeightedEdge{U: e.U, V: e.V, W: 1})
+	}
+	wg, err := graph.FromWeightedEdges(g.NumVertices(), wedges)
+	if err != nil {
+		panic(err)
+	}
+	return wg
+}
+
+func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
+	cases := []*graph.WeightedGraph{
+		graph.RandomWeights(graph.Grid2D(20, 20), 1, 10, 1),
+		graph.RandomWeights(graph.GNM(300, 900, 2), 0.5, 5, 3),
+		graph.RandomWeights(graph.Cycle(100), 1, 2, 4),
+		unitWeighted(graph.BinaryTree(127)),
+	}
+	for gi, wg := range cases {
+		for _, delta := range []float64{0, 0.5, 2, 100} {
+			for _, workers := range []int{1, 4} {
+				want := DijkstraWeighted(wg, 0)
+				got := DeltaStepping(wg, 0, delta, workers)
+				for v := range want {
+					if math.Abs(want[v]-got.Dist[v]) > 1e-9 &&
+						!(math.IsInf(want[v], 1) && math.IsInf(got.Dist[v], 1)) {
+						t.Fatalf("graph %d delta=%g workers=%d: dist[%d]=%g want %g",
+							gi, delta, workers, v, got.Dist[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaSteppingParentsConsistent(t *testing.T) {
+	wg := graph.RandomWeights(graph.Grid2D(15, 15), 1, 5, 7)
+	res := DeltaStepping(wg, 3, 0, 2)
+	for v := range res.Parent {
+		if math.IsInf(res.Dist[v], 1) || uint32(v) == 3 {
+			continue
+		}
+		p := res.Parent[v]
+		nbrs, ws := wg.Neighbors(p)
+		found := false
+		for i, u := range nbrs {
+			if u == uint32(v) && math.Abs(res.Dist[p]+ws[i]-res.Dist[v]) < 1e-9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("vertex %d: parent %d does not explain dist %g", v, p, res.Dist[v])
+		}
+	}
+}
+
+func TestDeltaSteppingUnreachable(t *testing.T) {
+	g, err := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := graph.RandomWeights(g, 1, 2, 1)
+	res := DeltaStepping(wg, 0, 0, 1)
+	for v := 2; v < 5; v++ {
+		if !math.IsInf(res.Dist[v], 1) {
+			t.Errorf("vertex %d should be unreachable", v)
+		}
+		if res.Parent[v] != uint32(v) {
+			t.Errorf("unreachable vertex %d has foreign parent", v)
+		}
+	}
+}
+
+func TestDeltaSteppingMultiSource(t *testing.T) {
+	wg := unitWeighted(graph.Path(10))
+	init := make([]float64, 10)
+	for i := range init {
+		init[i] = math.Inf(1)
+	}
+	init[0] = 0.5
+	init[9] = 0
+	res := DeltaSteppingMulti(wg, init, 1, 2)
+	for v := 0; v < 10; v++ {
+		want := math.Min(0.5+float64(v), float64(9-v))
+		if math.Abs(res.Dist[v]-want) > 1e-9 {
+			t.Errorf("dist[%d]=%g want %g", v, res.Dist[v], want)
+		}
+	}
+}
+
+func TestDeltaSteppingEmptyGraph(t *testing.T) {
+	wg, err := graph.FromWeightedEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DeltaSteppingMulti(wg, nil, 0, 1)
+	if len(res.Dist) != 0 {
+		t.Error("empty graph should give empty result")
+	}
+}
+
+func TestDeltaSteppingNoSources(t *testing.T) {
+	wg := unitWeighted(graph.Path(5))
+	init := make([]float64, 5)
+	for i := range init {
+		init[i] = math.Inf(1)
+	}
+	res := DeltaSteppingMulti(wg, init, 1, 1)
+	for v, d := range res.Dist {
+		if !math.IsInf(d, 1) {
+			t.Errorf("vertex %d reached without sources", v)
+		}
+	}
+}
+
+func TestDeltaSteppingQuickAgainstDijkstra(t *testing.T) {
+	f := func(seed uint64, deltaRaw uint8) bool {
+		g := graph.GNM(60, 150, seed%500)
+		wg := graph.RandomWeights(g, 0.1, 4, seed)
+		delta := 0.1 + float64(deltaRaw)/64
+		a := DijkstraWeighted(wg, 0)
+		b := DeltaStepping(wg, 0, delta, 3)
+		for v := range a {
+			if math.IsInf(a[v], 1) != math.IsInf(b.Dist[v], 1) {
+				return false
+			}
+			if !math.IsInf(a[v], 1) && math.Abs(a[v]-b.Dist[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaSteppingRoundsScaleWithDelta(t *testing.T) {
+	// Smaller delta => more buckets => more rounds (the depth/work knob).
+	wg := graph.RandomWeights(graph.Grid2D(40, 40), 1, 4, 5)
+	small := DeltaStepping(wg, 0, 0.5, 2)
+	large := DeltaStepping(wg, 0, 50, 2)
+	if small.Rounds <= large.Rounds {
+		t.Errorf("rounds: delta=0.5 gives %d, delta=50 gives %d; expected more rounds at smaller delta",
+			small.Rounds, large.Rounds)
+	}
+}

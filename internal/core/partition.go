@@ -1,0 +1,194 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mpx/internal/graph"
+	"mpx/internal/parallel"
+)
+
+// unclaimed is the sentinel claim word; any real proposal (rank<<32|vertex,
+// both below 2^32-1) compares smaller.
+const unclaimed = ^uint64(0)
+
+// Partition computes a (β, O(log n/β)) decomposition of g — the paper's
+// Algorithm 1/2. Every vertex u draws δ_u ~ Exp(β); v joins the cluster of
+// the center minimizing dist(u,v) − δ_u, with same-round ties broken by the
+// shift fractional parts (or an explicit permutation, per Options).
+//
+// The implementation is the Section 5 reduction to a single multi-source
+// BFS: vertex u may start a cluster at round ⌊δ_max − δ_u⌋, claims are
+// resolved per round by an atomic minimum on (rank(center), proposer), and
+// each round is expanded with level-synchronous parallelism. The output is
+// deterministic for fixed (graph, β, seed) at any worker count.
+//
+// Expected cost matches Theorem 1.2: O(m) work and O(log²n/β) depth — here
+// realized as O((log n/β) · rounds) with each round a constant number of
+// parallel primitives.
+func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, error) {
+	if beta <= 0 || beta >= 1 {
+		return nil, ErrBeta
+	}
+	n := g.NumVertices()
+	d := &Decomposition{
+		G:      g,
+		Beta:   beta,
+		Center: make([]uint32, n),
+		Dist:   make([]int32, n),
+		Parent: make([]uint32, n),
+	}
+	if n == 0 {
+		return d, nil
+	}
+
+	plan := newShiftPlan(n, beta, opts)
+	d.Shifts = plan.shifts
+	d.DeltaMax = plan.deltaMax
+
+	claim := make([]uint64, n)
+	level := make([]int32, n)
+	parallel.ForRange(opts.Workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			claim[i] = unclaimed
+			level[i] = -1
+			d.Parent[i] = uint32(i)
+		}
+	})
+
+	packed := func(v uint32) uint64 {
+		return uint64(plan.rank[v])<<32 | uint64(v)
+	}
+
+	var frontier []uint32
+	var relaxed int64
+	t := int32(0)
+	maxBucket := int32(len(plan.buckets) - 1)
+	for {
+		// Fast-forward the clock over empty rounds (no frontier, no pending
+		// centers until a later bucket).
+		if len(frontier) == 0 {
+			next := t
+			for next <= maxBucket && len(plan.buckets[next]) == 0 {
+				next++
+			}
+			if next > maxBucket {
+				break
+			}
+			t = next
+		}
+		var bucket []uint32
+		if t <= maxBucket {
+			bucket = plan.buckets[t]
+		}
+
+		newly := runRound(g, frontier, bucket, claim, level, d.Center, d.Dist, opts, packed, &relaxed)
+
+		// Resolution: finalize every vertex claimed this round. Claim words
+		// are stable now (barrier above), so plain reads are safe.
+		parallel.ForRange(opts.Workers, len(newly), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				w := newly[i]
+				proposer := uint32(claim[w])
+				level[w] = t
+				if proposer == w {
+					d.Center[w] = w
+					d.Parent[w] = w
+					d.Dist[w] = 0
+				} else {
+					c := d.Center[proposer]
+					d.Center[w] = c
+					d.Parent[w] = proposer
+					d.Dist[w] = t - plan.bucket[c]
+				}
+			}
+		})
+		frontier = newly
+		d.Rounds++
+		t++
+	}
+	d.Relaxed = relaxed
+	return d, nil
+}
+
+// runRound gathers self-proposals from this round's start bucket and
+// expansion proposals from the previous frontier, resolving them with an
+// atomic minimum per target vertex. It returns the set of vertices claimed
+// this round (each exactly once, appended by the proposer that first
+// transitioned the claim word away from the sentinel).
+func runRound(g *graph.Graph, frontier, bucket []uint32, claim []uint64,
+	level []int32, center []uint32, dist []int32, opts Options,
+	packed func(uint32) uint64, relaxed *int64) []uint32 {
+
+	work := len(frontier) + len(bucket)
+	w := parallel.Workers(opts.Workers, work)
+	buffers := make([][]uint32, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		flo := k * len(frontier) / w
+		fhi := (k + 1) * len(frontier) / w
+		blo := k * len(bucket) / w
+		bhi := (k + 1) * len(bucket) / w
+		go func(k, flo, fhi, blo, bhi int) {
+			defer wg.Done()
+			var buf []uint32
+			var local int64
+			// Self-proposals: unclaimed vertices whose start time falls in
+			// this round propose themselves as centers.
+			for i := blo; i < bhi; i++ {
+				u := bucket[i]
+				if level[u] == -1 {
+					if first := proposeMin(&claim[u], packed(u)); first {
+						buf = append(buf, u)
+					}
+				}
+			}
+			// Expansion proposals: frontier vertices offer their cluster to
+			// unclaimed neighbors.
+			for i := flo; i < fhi; i++ {
+				v := frontier[i]
+				if opts.MaxRadius > 0 && dist[v] >= opts.MaxRadius {
+					continue // tree capped; stragglers self-start later
+				}
+				p := packed(center[v])
+				for _, u := range g.Neighbors(v) {
+					local++
+					if level[u] != -1 {
+						continue
+					}
+					if first := proposeMin(&claim[u], p&^0xffffffff|uint64(v)); first {
+						buf = append(buf, u)
+					}
+				}
+			}
+			buffers[k] = buf
+			atomic.AddInt64(relaxed, local)
+		}(k, flo, fhi, blo, bhi)
+	}
+	wg.Wait()
+	var total int
+	for _, b := range buffers {
+		total += len(b)
+	}
+	out := make([]uint32, 0, total)
+	for _, b := range buffers {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// proposeMin lowers *addr to v if smaller and reports whether this call was
+// the first to move the word off the unclaimed sentinel (the signal to
+// enqueue the target exactly once).
+func proposeMin(addr *uint64, v uint64) (first bool) {
+	for {
+		old := atomic.LoadUint64(addr)
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, v) {
+			return old == unclaimed
+		}
+	}
+}

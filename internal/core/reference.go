@@ -1,0 +1,224 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"mpx/internal/graph"
+)
+
+// PartitionSequential computes exactly the same decomposition as Partition
+// (same Options semantics, bit-identical Center/Dist/Parent arrays) using a
+// sequential multi-source Dijkstra over the lexicographic keys
+// (⌊δ_max−δ_c⌋ + dist, rank(c), proposer). It exists as the oracle the
+// parallel implementation is property-tested against.
+func PartitionSequential(g *graph.Graph, beta float64, opts Options) (*Decomposition, error) {
+	if beta <= 0 || beta >= 1 {
+		return nil, ErrBeta
+	}
+	n := g.NumVertices()
+	d := &Decomposition{
+		G:      g,
+		Beta:   beta,
+		Center: make([]uint32, n),
+		Dist:   make([]int32, n),
+		Parent: make([]uint32, n),
+	}
+	if n == 0 {
+		return d, nil
+	}
+	plan := newShiftPlan(n, beta, opts)
+	d.Shifts = plan.shifts
+	d.DeltaMax = plan.deltaMax
+
+	type label struct {
+		key      int64 // integer part of shifted distance
+		rank     uint32
+		proposer uint32
+		settled  bool
+	}
+	labels := make([]label, n)
+	for i := range labels {
+		labels[i] = label{key: math.MaxInt64, rank: math.MaxUint32, proposer: math.MaxUint32}
+	}
+	h := &refHeap{}
+	for v := 0; v < n; v++ {
+		it := refItem{key: int64(plan.bucket[v]), rank: plan.rank[v], proposer: uint32(v), target: uint32(v)}
+		labels[v] = label{key: it.key, rank: it.rank, proposer: it.proposer}
+		heap.Push(h, it)
+	}
+	roundSeen := make(map[int64]struct{})
+	for h.Len() > 0 {
+		it := heap.Pop(h).(refItem)
+		lb := &labels[it.target]
+		if lb.settled || it.key != lb.key || it.rank != lb.rank || it.proposer != lb.proposer {
+			continue
+		}
+		lb.settled = true
+		roundSeen[it.key] = struct{}{}
+		v := it.target
+		if it.proposer == v && it.key == int64(plan.bucket[v]) {
+			d.Center[v] = v
+			d.Parent[v] = v
+			d.Dist[v] = 0
+		} else {
+			c := d.Center[it.proposer]
+			d.Center[v] = c
+			d.Parent[v] = it.proposer
+			d.Dist[v] = int32(it.key - int64(plan.bucket[c]))
+		}
+		if opts.MaxRadius > 0 && d.Dist[v] >= opts.MaxRadius {
+			continue // capped tree: do not relax out of v
+		}
+		cand := refItem{key: it.key + 1, rank: plan.rank[d.Center[v]], proposer: v}
+		for _, u := range g.Neighbors(v) {
+			lu := &labels[u]
+			if lu.settled {
+				continue
+			}
+			if cand.key < lu.key ||
+				(cand.key == lu.key && (cand.rank < lu.rank ||
+					(cand.rank == lu.rank && cand.proposer < lu.proposer))) {
+				lu.key, lu.rank, lu.proposer = cand.key, cand.rank, cand.proposer
+				heap.Push(h, refItem{key: cand.key, rank: cand.rank, proposer: cand.proposer, target: u})
+			}
+		}
+		d.Relaxed += int64(g.Degree(v))
+	}
+	// Depth proxy: distinct settled keys = non-empty BFS rounds of the
+	// parallel run.
+	d.Rounds = len(roundSeen)
+	return d, nil
+}
+
+// refItem is a heap entry for the sequential reference.
+type refItem struct {
+	key      int64
+	rank     uint32
+	proposer uint32
+	target   uint32
+}
+
+type refHeap struct {
+	items []refItem
+}
+
+func (h *refHeap) Len() int { return len(h.items) }
+func (h *refHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.proposer < b.proposer
+}
+func (h *refHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *refHeap) Push(x interface{}) { h.items = append(h.items, x.(refItem)) }
+func (h *refHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// PartitionExact is the literal Algorithm 2 of the paper run sequentially:
+// assign every vertex v to the center u minimizing the real-valued shifted
+// distance dist(u,v) − δ_u, ties broken lexicographically by center id. It
+// is implemented as a Dijkstra from a super-source with arc lengths
+// δ_max − δ_u (floating point). Used to cross-validate the integer-round
+// implementation; with fractional tie-breaking the two agree exactly unless
+// float addition rounds a fractional part across an integer boundary.
+func PartitionExact(g *graph.Graph, beta float64, opts Options) (*Decomposition, error) {
+	if beta <= 0 || beta >= 1 {
+		return nil, ErrBeta
+	}
+	n := g.NumVertices()
+	d := &Decomposition{
+		G:      g,
+		Beta:   beta,
+		Center: make([]uint32, n),
+		Dist:   make([]int32, n),
+		Parent: make([]uint32, n),
+	}
+	if n == 0 {
+		return d, nil
+	}
+	plan := newShiftPlan(n, beta, opts)
+	d.Shifts = plan.shifts
+	d.DeltaMax = plan.deltaMax
+
+	type flabel struct {
+		f       float64
+		center  uint32
+		settled bool
+	}
+	labels := make([]flabel, n)
+	for i := range labels {
+		labels[i] = flabel{f: math.Inf(1), center: math.MaxUint32}
+	}
+	h := &floatRefHeap{}
+	for v := 0; v < n; v++ {
+		labels[v] = flabel{f: plan.start[v], center: uint32(v)}
+		heap.Push(h, floatRefItem{f: plan.start[v], center: uint32(v), proposer: uint32(v), target: uint32(v)})
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(floatRefItem)
+		lb := &labels[it.target]
+		if lb.settled || it.f != lb.f || it.center != lb.center {
+			continue
+		}
+		lb.settled = true
+		v := it.target
+		d.Center[v] = it.center
+		d.Parent[v] = it.proposer
+		if it.center == v {
+			d.Dist[v] = 0
+		} else {
+			d.Dist[v] = d.Dist[it.proposer] + 1
+		}
+		nf := it.f + 1
+		for _, u := range g.Neighbors(v) {
+			lu := &labels[u]
+			if lu.settled {
+				continue
+			}
+			if nf < lu.f || (nf == lu.f && it.center < lu.center) {
+				lu.f, lu.center = nf, it.center
+				heap.Push(h, floatRefItem{f: nf, center: it.center, proposer: v, target: u})
+			}
+		}
+	}
+	return d, nil
+}
+
+type floatRefItem struct {
+	f        float64
+	center   uint32
+	proposer uint32
+	target   uint32
+}
+
+type floatRefHeap struct {
+	items []floatRefItem
+}
+
+func (h *floatRefHeap) Len() int { return len(h.items) }
+func (h *floatRefHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	return a.center < b.center
+}
+func (h *floatRefHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *floatRefHeap) Push(x interface{}) { h.items = append(h.items, x.(floatRefItem)) }
+func (h *floatRefHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

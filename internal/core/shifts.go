@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+
+	"mpx/internal/parallel"
+	"mpx/internal/xrand"
+)
+
+// shiftPlan is everything derived from the random shifts before the BFS
+// starts: start-time buckets, tie-breaking ranks, and the raw shifts for
+// reporting and verification.
+type shiftPlan struct {
+	shifts   []float64 // δ_u
+	deltaMax float64
+	start    []float64 // s_u = δ_max − δ_u
+	bucket   []int32   // ⌊s_u⌋: the BFS round at which u may start a cluster
+	rank     []uint32  // tie-break rank; lower rank wins same-round claims
+	buckets  [][]uint32
+}
+
+// GenerateShifts draws the per-vertex shifts for (seed, source, β) exactly
+// as Partition does; exposed so experiments (E4: Lemma 4.2) can study the
+// shift distribution in isolation.
+func GenerateShifts(n int, beta float64, seed uint64, source ShiftSource) []float64 {
+	shifts := make([]float64, n)
+	switch source {
+	case ShiftExponential:
+		parallel.For(0, n, func(v int) {
+			shifts[v] = xrand.Exp(seed, uint64(v), beta)
+		})
+	case ShiftQuantile:
+		// Section 5: derive shifts from positions in a random permutation.
+		// Position k of n receives the (k+½)/n quantile of Exp(β).
+		rng := xrand.NewSplitMix64(seed)
+		perm := rng.Perm32(n)
+		for v := 0; v < n; v++ {
+			q := (float64(perm[v]) + 0.5) / float64(n)
+			shifts[v] = -math.Log(1-q) / beta
+		}
+	default:
+		panic("core: unknown ShiftSource")
+	}
+	return shifts
+}
+
+// newShiftPlan prepares the plan for a partition run.
+func newShiftPlan(n int, beta float64, opts Options) *shiftPlan {
+	p := &shiftPlan{
+		shifts: GenerateShifts(n, beta, opts.Seed, opts.ShiftSource),
+		start:  make([]float64, n),
+		bucket: make([]int32, n),
+		rank:   make([]uint32, n),
+	}
+	if n == 0 {
+		return p
+	}
+	p.deltaMax, _ = parallel.MaxFloat64(opts.Workers, n, func(i int) float64 { return p.shifts[i] })
+
+	fracs := make([]float64, n)
+	parallel.For(opts.Workers, n, func(v int) {
+		s := p.deltaMax - p.shifts[v]
+		p.start[v] = s
+		b := math.Floor(s)
+		p.bucket[v] = int32(b)
+		fracs[v] = s - b
+	})
+
+	switch opts.TieBreak {
+	case TieFractional:
+		// Rank vertices by the fractional part of their start time; distinct
+		// with probability 1, residual float ties broken by vertex id (the
+		// paper's lexicographic rule for the zero-probability event).
+		order := make([]uint32, n)
+		for i := range order {
+			order[i] = uint32(i)
+		}
+		sortByFrac(order, fracs)
+		for r, v := range order {
+			p.rank[v] = uint32(r)
+		}
+	case TiePermutation:
+		// An independent uniform permutation; Section 5 observes the
+		// fractional parts may be replaced by one.
+		rng := xrand.NewSplitMix64(xrand.Mix(opts.Seed, 0x7065726d)) // "perm"
+		perm := rng.Perm32(n)
+		copy(p.rank, perm)
+	default:
+		panic("core: unknown TieBreak")
+	}
+
+	nBuckets := int(math.Floor(p.deltaMax)) + 1
+	p.buckets = make([][]uint32, nBuckets)
+	for v := 0; v < n; v++ {
+		b := p.bucket[v]
+		p.buckets[b] = append(p.buckets[b], uint32(v))
+	}
+	return p
+}
+
+// sortByFrac sorts vertex ids by (frac, id) ascending without allocating a
+// comparison closure per element; a simple bottom-up merge sort keeps the
+// sort deterministic and O(n log n).
+func sortByFrac(order []uint32, frac []float64) {
+	n := len(order)
+	buf := make([]uint32, n)
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			mergeByFrac(order[lo:mid], order[mid:hi], buf[lo:hi], frac)
+			copy(order[lo:hi], buf[lo:hi])
+		}
+	}
+}
+
+func mergeByFrac(a, b, out []uint32, frac []float64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		av, bv := a[i], b[j]
+		if frac[av] < frac[bv] || (frac[av] == frac[bv] && av <= bv) {
+			out[k] = av
+			i++
+		} else {
+			out[k] = bv
+			j++
+		}
+		k++
+	}
+	for i < len(a) {
+		out[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		out[k] = b[j]
+		j++
+		k++
+	}
+}
+
+// HarmonicNumber returns H_n = sum_{i=1..n} 1/i, the quantity Lemma 4.2
+// compares E[δ_max]·β against.
+func HarmonicNumber(n int) float64 {
+	var h float64
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}

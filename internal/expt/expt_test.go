@@ -1,0 +1,201 @@
+package expt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func smallConfig() Config {
+	return Config{Scale: 0.02, Seed: 7, Workers: 2, Trials: 1}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("ids[%d]=%s want %s", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E999", smallConfig()); err == nil {
+		t.Error("expected error for unknown id")
+	}
+}
+
+func TestAllExperimentsRunAtSmallScale(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, smallConfig())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if res.ID != id {
+				t.Errorf("result id %q", res.ID)
+			}
+			if res.Table == nil || res.Table.NumRows() == 0 {
+				t.Errorf("%s: empty table", id)
+			}
+			if res.Title == "" {
+				t.Errorf("%s: missing title", id)
+			}
+			out := res.String()
+			if !strings.Contains(out, id) {
+				t.Errorf("%s: String() missing id", id)
+			}
+		})
+	}
+}
+
+func TestE1WritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.OutDir = dir
+	res, err := Run("E1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Artifacts) != 6 {
+		t.Fatalf("expected 6 Figure 1 panels, got %d", len(res.Artifacts))
+	}
+	for _, a := range res.Artifacts {
+		info, err := os.Stat(a)
+		if err != nil {
+			t.Errorf("artifact %s: %v", a, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("artifact %s is empty", a)
+		}
+		if filepath.Ext(a) != ".png" {
+			t.Errorf("artifact %s is not a png", a)
+		}
+	}
+}
+
+func TestE2RatioBounded(t *testing.T) {
+	res, err := Run("E2", smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The note must report a bounded worst ratio; the CSV rows expose the
+	// per-row ratio in the final column.
+	csv := res.Table.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		ratio := cols[len(cols)-1]
+		var v float64
+		if _, err := fmtSscan(ratio, &v); err != nil {
+			t.Fatalf("bad ratio cell %q", ratio)
+		}
+		if v > 6 {
+			t.Errorf("radius ratio %g too large for Theorem 1.2 shape", v)
+		}
+	}
+}
+
+func TestE3CutOverBetaBounded(t *testing.T) {
+	res, err := Run("E3", smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(res.Table.CSV()), "\n")
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		var v float64
+		if _, err := fmtSscan(cols[len(cols)-1], &v); err != nil {
+			t.Fatalf("bad cell %q", cols[len(cols)-1])
+		}
+		if v > 4 {
+			t.Errorf("cut/beta %g exceeds O(1) shape bound", v)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.scale() != 1 {
+		t.Errorf("scale default %g", c.scale())
+	}
+	if c.trials() != 3 {
+		t.Errorf("trials default %d", c.trials())
+	}
+	if c.scaledSide(100, 10) != 100 {
+		t.Errorf("scaledSide at scale 1: %d", c.scaledSide(100, 10))
+	}
+	c.Scale = 0.01
+	if c.scaledSide(100, 25) != 25 {
+		t.Errorf("scaledSide floor: %d", c.scaledSide(100, 25))
+	}
+}
+
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+func TestE13ReportsNoLemma43Violations(t *testing.T) {
+	res, err := Run("E13", smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("E13 warned: %s", n)
+		}
+	}
+	if !strings.Contains(res.Table.CSV(), "0 violations") {
+		t.Error("E13 table missing the zero-violations row")
+	}
+}
+
+func TestE15AssignmentsMatchSequential(t *testing.T) {
+	res, err := Run("E15", smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every row's matchesSeq cell must be "k/k".
+	lines := strings.Split(strings.TrimSpace(res.Table.CSV()), "\n")
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		frac := cols[len(cols)-1]
+		parts := strings.Split(frac, "/")
+		if len(parts) != 2 || parts[0] != parts[1] {
+			t.Errorf("delta-stepping assignment mismatch: %s", frac)
+		}
+	}
+}
+
+func TestE18RowsVerified(t *testing.T) {
+	res, err := Run("E18", smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 4 {
+		t.Errorf("E18 rows=%d want 4", res.Table.NumRows())
+	}
+}
+
+func TestE16FullDominance(t *testing.T) {
+	res, err := Run("E16", smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(res.Table.CSV()), "\n")
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if cols[len(cols)-1] != "1" {
+			t.Errorf("dominance fraction %s != 1 in row %q", cols[len(cols)-1], line)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package expt
+
+import (
+	"sort"
+	"time"
+
+	"mpx/internal/core"
+	"mpx/internal/graph"
+)
+
+// medianPartitionMillis times Partition over several repetitions and
+// returns the median wall-clock milliseconds.
+func medianPartitionMillis(g *graph.Graph, beta float64, seed uint64, workers, reps int) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	times := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := core.Partition(g, beta, core.Options{Seed: seed, Workers: workers}); err != nil {
+			panic(err) // beta validated by callers
+		}
+		times = append(times, float64(time.Since(start).Microseconds())/1000)
+	}
+	sort.Float64s(times)
+	return times[len(times)/2]
+}

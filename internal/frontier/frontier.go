@@ -1,0 +1,246 @@
+// Package frontier is a Ligra-style frontier-parallel graph-processing
+// layer (Shun & Blelloch 2013, the paper's reference [26] for practical
+// parallel BFS): vertex subsets with automatic sparse/dense representation
+// switching and an EdgeMap that picks top-down (sparse) or bottom-up
+// (dense) traversal by frontier size. The BFS and decomposition loops in
+// this repository inline their traversals for performance; this package
+// provides the same machinery as a reusable abstraction and is
+// cross-tested against them.
+package frontier
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mpx/internal/graph"
+	"mpx/internal/parallel"
+)
+
+// Subset is a set of vertices of a fixed-size universe, stored sparse
+// (id list) or dense (bitmap) depending on size.
+type Subset struct {
+	n      int
+	sparse []uint32 // valid when dense == nil
+	dense  []bool
+	count  int
+}
+
+// NewSubset builds a sparse subset from ids (not copied; caller yields
+// ownership). Duplicate ids must not be passed.
+func NewSubset(n int, ids []uint32) *Subset {
+	return &Subset{n: n, sparse: ids, count: len(ids)}
+}
+
+// NewDenseSubset builds a dense subset from a bitmap (ownership yielded).
+func NewDenseSubset(bitmap []bool) *Subset {
+	count := 0
+	for _, b := range bitmap {
+		if b {
+			count++
+		}
+	}
+	return &Subset{n: len(bitmap), dense: bitmap, count: count}
+}
+
+// Len returns the subset size.
+func (s *Subset) Len() int { return s.count }
+
+// IsEmpty reports whether the subset is empty.
+func (s *Subset) IsEmpty() bool { return s.count == 0 }
+
+// Contains reports membership.
+func (s *Subset) Contains(v uint32) bool {
+	if s.dense != nil {
+		return s.dense[v]
+	}
+	for _, u := range s.sparse {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Vertices materializes the member list (sorted for dense subsets, in
+// insertion order for sparse ones).
+func (s *Subset) Vertices() []uint32 {
+	if s.dense == nil {
+		out := make([]uint32, len(s.sparse))
+		copy(out, s.sparse)
+		return out
+	}
+	out := make([]uint32, 0, s.count)
+	for v, in := range s.dense {
+		if in {
+			out = append(out, uint32(v))
+		}
+	}
+	return out
+}
+
+// toDense returns the bitmap view, building it if needed.
+func (s *Subset) toDense() []bool {
+	if s.dense != nil {
+		return s.dense
+	}
+	d := make([]bool, s.n)
+	for _, v := range s.sparse {
+		d[v] = true
+	}
+	return d
+}
+
+// Options tune EdgeMap.
+type Options struct {
+	// Workers caps parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Threshold is the Beamer direction-switch ratio; frontier out-degree
+	// above arcs/Threshold triggers the dense sweep. 0 means 20.
+	Threshold int64
+	// ForceSparse / ForceDense pin the traversal direction (for tests).
+	ForceSparse, ForceDense bool
+}
+
+// EdgeMap applies update(src, dst) over all edges out of the frontier whose
+// target passes cond(dst). update returns true when dst should join the
+// output frontier; it must be atomic/idempotent (it may race on dense
+// sweeps exactly as in Ligra). The returned subset contains each admitted
+// target exactly once.
+func EdgeMap(g *graph.Graph, front *Subset, cond func(uint32) bool,
+	update func(src, dst uint32) bool, opts Options) *Subset {
+
+	if front.IsEmpty() {
+		return NewSubset(g.NumVertices(), nil)
+	}
+	threshold := opts.Threshold
+	if threshold <= 0 {
+		threshold = 20
+	}
+	var frontierArcs int64
+	for _, v := range front.Vertices() {
+		frontierArcs += int64(g.Degree(v))
+	}
+	useDense := !opts.ForceSparse &&
+		(opts.ForceDense || frontierArcs > g.NumArcs()/threshold)
+	if useDense {
+		return edgeMapDense(g, front, cond, update, opts)
+	}
+	return edgeMapSparse(g, front, cond, update, opts)
+}
+
+// edgeMapSparse walks out-edges of frontier members (top-down).
+func edgeMapSparse(g *graph.Graph, front *Subset, cond func(uint32) bool,
+	update func(src, dst uint32) bool, opts Options) *Subset {
+
+	members := front.Vertices()
+	w := parallel.Workers(opts.Workers, len(members))
+	buffers := make([][]uint32, w)
+	claimed := make([]int32, g.NumVertices())
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo := k * len(members) / w
+		hi := (k + 1) * len(members) / w
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			var buf []uint32
+			for i := lo; i < hi; i++ {
+				v := members[i]
+				for _, u := range g.Neighbors(v) {
+					if !cond(u) {
+						continue
+					}
+					if update(v, u) {
+						// Deduplicate output admission with a CAS claim.
+						if atomic.CompareAndSwapInt32(&claimed[u], 0, 1) {
+							buf = append(buf, u)
+						}
+					}
+				}
+			}
+			buffers[k] = buf
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	var total int
+	for _, b := range buffers {
+		total += len(b)
+	}
+	out := make([]uint32, 0, total)
+	for _, b := range buffers {
+		out = append(out, b...)
+	}
+	return NewSubset(g.NumVertices(), out)
+}
+
+// edgeMapDense scans all vertices, pulling from frontier members
+// (bottom-up); each passing vertex probes its own neighborhood.
+func edgeMapDense(g *graph.Graph, front *Subset, cond func(uint32) bool,
+	update func(src, dst uint32) bool, opts Options) *Subset {
+
+	bitmap := front.toDense()
+	n := g.NumVertices()
+	out := make([]bool, n)
+	parallel.ForRange(opts.Workers, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			u := uint32(v)
+			if !cond(u) {
+				continue
+			}
+			for _, src := range g.Neighbors(u) {
+				if bitmap[src] && update(src, u) {
+					out[v] = true
+					break
+				}
+			}
+		}
+	})
+	return NewDenseSubset(out)
+}
+
+// VertexMap applies f to every member of the subset in parallel.
+func VertexMap(s *Subset, workers int, f func(uint32)) {
+	members := s.Vertices()
+	parallel.For(workers, len(members), func(i int) { f(members[i]) })
+}
+
+// VertexFilter returns the members for which keep returns true.
+func VertexFilter(s *Subset, keep func(uint32) bool) *Subset {
+	var out []uint32
+	for _, v := range s.Vertices() {
+		if keep(v) {
+			out = append(out, v)
+		}
+	}
+	return NewSubset(s.n, out)
+}
+
+// BFS computes distances from source using EdgeMap — the canonical Ligra
+// program, kept as the executable specification the low-level BFS in
+// package bfs is cross-tested against.
+func BFS(g *graph.Graph, source uint32, opts Options) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	visited := make([]int32, n)
+	dist[source] = 0
+	visited[source] = 1
+	front := NewSubset(n, []uint32{source})
+	depth := int32(0)
+	for !front.IsEmpty() {
+		depth++
+		d := depth
+		front = EdgeMap(g, front,
+			func(u uint32) bool { return atomic.LoadInt32(&visited[u]) == 0 },
+			func(src, dst uint32) bool {
+				if atomic.CompareAndSwapInt32(&visited[dst], 0, 1) {
+					dist[dst] = d
+					return true
+				}
+				return false
+			}, opts)
+	}
+	return dist
+}

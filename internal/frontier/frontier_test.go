@@ -1,0 +1,175 @@
+package frontier
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"mpx/internal/bfs"
+	"mpx/internal/graph"
+)
+
+func TestSubsetBasics(t *testing.T) {
+	s := NewSubset(10, []uint32{1, 4, 7})
+	if s.Len() != 3 || s.IsEmpty() {
+		t.Error("len/empty wrong")
+	}
+	if !s.Contains(4) || s.Contains(5) {
+		t.Error("contains wrong")
+	}
+	vs := s.Vertices()
+	if len(vs) != 3 {
+		t.Errorf("vertices %v", vs)
+	}
+}
+
+func TestDenseSubset(t *testing.T) {
+	bitmap := make([]bool, 8)
+	bitmap[2], bitmap[6] = true, true
+	s := NewDenseSubset(bitmap)
+	if s.Len() != 2 || !s.Contains(2) || s.Contains(3) {
+		t.Error("dense subset wrong")
+	}
+	vs := s.Vertices()
+	if len(vs) != 2 || vs[0] != 2 || vs[1] != 6 {
+		t.Errorf("vertices %v", vs)
+	}
+}
+
+func TestBFSMatchesReferenceBothDirections(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Grid2D(15, 15),
+		graph.Complete(40),
+		graph.GNM(200, 700, 3),
+		graph.Star(100),
+	}
+	for gi, g := range graphs {
+		want := bfs.Sequential(g, 0)
+		for _, opts := range []Options{
+			{Workers: 2},
+			{Workers: 2, ForceSparse: true},
+			{Workers: 2, ForceDense: true},
+			{Workers: 1, Threshold: 1},
+		} {
+			got := BFS(g, 0, opts)
+			for v := range want {
+				if want[v] != got[v] {
+					t.Fatalf("graph %d opts %+v: dist[%d]=%d want %d", gi, opts, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeMapEmptyFrontier(t *testing.T) {
+	g := graph.Path(5)
+	out := EdgeMap(g, NewSubset(5, nil), func(uint32) bool { return true },
+		func(a, b uint32) bool { return true }, Options{})
+	if !out.IsEmpty() {
+		t.Error("empty frontier must map to empty")
+	}
+}
+
+func TestEdgeMapAdmitsEachTargetOnce(t *testing.T) {
+	// Star: every leaf reaches the center; the center must be admitted once.
+	g := graph.Star(50)
+	leaves := make([]uint32, 49)
+	for i := range leaves {
+		leaves[i] = uint32(i + 1)
+	}
+	var updates int64
+	out := EdgeMap(g, NewSubset(50, leaves),
+		func(u uint32) bool { return u == 0 },
+		func(src, dst uint32) bool {
+			atomic.AddInt64(&updates, 1)
+			return true
+		}, Options{ForceSparse: true, Workers: 4})
+	if out.Len() != 1 || !out.Contains(0) {
+		t.Errorf("output %v", out.Vertices())
+	}
+	if updates != 49 {
+		t.Errorf("update called %d times, want 49", updates)
+	}
+}
+
+func TestEdgeMapCondFilters(t *testing.T) {
+	g := graph.Path(6)
+	out := EdgeMap(g, NewSubset(6, []uint32{2}),
+		func(u uint32) bool { return u == 3 }, // only allow 3
+		func(src, dst uint32) bool { return true },
+		Options{ForceSparse: true})
+	if out.Len() != 1 || !out.Contains(3) {
+		t.Errorf("cond filtering broken: %v", out.Vertices())
+	}
+}
+
+func TestVertexMapAndFilter(t *testing.T) {
+	s := NewSubset(20, []uint32{3, 6, 9, 12})
+	var sum int64
+	VertexMap(s, 2, func(v uint32) { atomic.AddInt64(&sum, int64(v)) })
+	if sum != 30 {
+		t.Errorf("VertexMap sum %d", sum)
+	}
+	f := VertexFilter(s, func(v uint32) bool { return v%2 == 0 })
+	if f.Len() != 2 || !f.Contains(6) || !f.Contains(12) {
+		t.Errorf("filter %v", f.Vertices())
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g, err := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := BFS(g, 0, Options{})
+	if dist[2] != -1 || dist[4] != -1 {
+		t.Error("unreachable vertices must stay -1")
+	}
+	if dist[1] != 1 {
+		t.Errorf("dist[1]=%d", dist[1])
+	}
+}
+
+func BenchmarkEdgeMapSparseVsDense(b *testing.B) {
+	g := graph.Complete(800)
+	half := make([]uint32, 400)
+	for i := range half {
+		half[i] = uint32(i)
+	}
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"sparse", Options{ForceSparse: true}},
+		{"dense", Options{ForceDense: true}},
+		{"auto", Options{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			visited := make([]int32, g.NumVertices())
+			for i := 0; i < b.N; i++ {
+				for j := range visited {
+					visited[j] = 0
+				}
+				front := NewSubset(g.NumVertices(), half)
+				EdgeMap(g, front,
+					func(u uint32) bool { return atomic.LoadInt32(&visited[u]) == 0 },
+					func(src, dst uint32) bool {
+						return atomic.CompareAndSwapInt32(&visited[dst], 0, 1)
+					}, mode.opts)
+			}
+		})
+	}
+}
+
+func BenchmarkFrontierBFSvsLowLevel(b *testing.B) {
+	g := graph.Grid2D(200, 200)
+	b.Run("frontier", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = BFS(g, 0, Options{})
+		}
+	})
+	b.Run("lowlevel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = bfs.Parallel(g, 0, 0)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package graph
+
+import "testing"
+
+func BenchmarkFromEdgesGrid(b *testing.B) {
+	proto := Grid2D(300, 300)
+	edges := proto.Edges()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdges(proto.NumVertices(), edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGrid2DGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Grid2D(200, 200)
+	}
+}
+
+func BenchmarkGNMGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = GNM(20000, 80000, uint64(i))
+	}
+}
+
+func BenchmarkRMATGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = RMAT(14, 100000, uint64(i))
+	}
+}
+
+func BenchmarkNeighborsScan(b *testing.B) {
+	g := Grid2D(300, 300)
+	b.SetBytes(g.NumArcs() * 4)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, u := range g.Neighbors(uint32(v)) {
+				sink += u
+			}
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := GNM(50000, 100000, 1)
+	for i := 0; i < b.N; i++ {
+		_, _ = ConnectedComponents(g)
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := RMAT(14, 100000, 3)
+	n := uint32(g.NumVertices())
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = g.HasEdge(uint32(i)%n, uint32(i*7)%n)
+	}
+	_ = sink
+}

@@ -1,0 +1,75 @@
+package graph
+
+// ConnectedComponents labels every vertex with a component id in
+// [0, count) and returns the labels and the component count. Labels are
+// assigned in order of the smallest vertex in each component, so the output
+// is canonical.
+func ConnectedComponents(g *Graph) (labels []int32, count int) {
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []uint32
+	for s := 0; s < n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[s] = id
+		queue = append(queue[:0], uint32(s))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(v) {
+				if labels[w] == -1 {
+					labels[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent returns the induced subgraph of the largest connected
+// component along with the original ids of its vertices.
+func LargestComponent(g *Graph) (*Graph, []uint32) {
+	labels, count := ConnectedComponents(g)
+	if count <= 1 {
+		ids := make([]uint32, g.NumVertices())
+		for i := range ids {
+			ids[i] = uint32(i)
+		}
+		return g, ids
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for c := 1; c < count; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	members := make([]uint32, 0, sizes[best])
+	for v, l := range labels {
+		if int(l) == best {
+			members = append(members, uint32(v))
+		}
+	}
+	sub, ids, err := g.InducedSubgraph(members)
+	if err != nil {
+		panic(err) // members are distinct and in range by construction
+	}
+	return sub, ids
+}
+
+// IsConnected reports whether g is connected (the empty graph counts as
+// connected).
+func IsConnected(g *Graph) bool {
+	_, count := ConnectedComponents(g)
+	return count <= 1
+}

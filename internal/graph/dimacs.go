@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DIMACS format support: the de-facto exchange format for graph benchmark
+// suites ("p edge n m" header, "e u v" edge lines, 1-based vertex ids,
+// "c" comment lines). Having it here lets the CLI consume published
+// instances directly.
+
+// ReadDIMACS parses a DIMACS .col/.edge graph.
+func ReadDIMACS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var n int
+	var m int64
+	var edges []Edge
+	header := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if header {
+				return nil, fmt.Errorf("graph: line %d: duplicate problem line", lineNo)
+			}
+			if len(fields) != 4 || (fields[1] != "edge" && fields[1] != "col" && fields[1] != "sp") {
+				return nil, fmt.Errorf("graph: line %d: malformed problem line", lineNo)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad n: %v", lineNo, err)
+			}
+			me, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad m: %v", lineNo, err)
+			}
+			n, m = nv, me
+			edges = make([]Edge, 0, m)
+			header = true
+		case "e", "a":
+			if !header {
+				return nil, fmt.Errorf("graph: line %d: edge before problem line", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge", lineNo)
+			}
+			u, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad u: %v", lineNo, err)
+			}
+			v, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad v: %v", lineNo, err)
+			}
+			if u < 1 || v < 1 || int(u) > n || int(v) > n {
+				return nil, fmt.Errorf("graph: line %d: vertex out of 1..%d", lineNo, n)
+			}
+			edges = append(edges, Edge{uint32(u - 1), uint32(v - 1)})
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !header {
+		return nil, fmt.Errorf("graph: missing DIMACS problem line")
+	}
+	// DIMACS files sometimes list each edge twice ("a" arcs); dedup.
+	return FromEdgesDedup(n, edges)
+}
+
+// WriteDIMACS writes g in DIMACS edge format (1-based).
+func WriteDIMACS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if uint32(v) < u {
+				if _, err := fmt.Fprintf(bw, "e %d %d\n", v+1, u+1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

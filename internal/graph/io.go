@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list format: header line "n m", then one "u v" line per
+// undirected edge. Lines starting with '#' or '%' are comments. Binary
+// format: magic "MPXG", little-endian uint64 n, uint64 m, then 2m uint32
+// endpoint pairs.
+
+// WriteEdgeList writes g in the text edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if uint32(v) < u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text edge-list format.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var n int
+	var m int64
+	header := false
+	var edges []Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if !header {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: header must be \"n m\"", lineNo)
+			}
+			nv, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad n: %v", lineNo, err)
+			}
+			me, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad m: %v", lineNo, err)
+			}
+			n, m = nv, me
+			header = true
+			edges = make([]Edge, 0, m)
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: edge must be \"u v\"", lineNo)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad u: %v", lineNo, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad v: %v", lineNo, err)
+		}
+		edges = append(edges, Edge{uint32(u), uint32(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !header {
+		return nil, fmt.Errorf("graph: missing header line")
+	}
+	if int64(len(edges)) != m {
+		return nil, fmt.Errorf("graph: header promised %d edges, found %d", m, len(edges))
+	}
+	return FromEdges(n, edges)
+}
+
+var binaryMagic = [4]byte{'M', 'P', 'X', 'G'}
+
+// WriteBinary writes g in the compact binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(g.NumVertices())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if uint32(v) < u {
+				if err := binary.Write(bw, binary.LittleEndian, [2]uint32{uint32(v), u}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the compact binary format.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var n, m uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if n > 1<<31 {
+		return nil, fmt.Errorf("graph: vertex count %d too large", n)
+	}
+	edges := make([]Edge, m)
+	for i := range edges {
+		var pair [2]uint32
+		if err := binary.Read(br, binary.LittleEndian, &pair); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		edges[i] = Edge{pair[0], pair[1]}
+	}
+	return FromEdges(int(n), edges)
+}

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesParallelMatchesSequential(t *testing.T) {
+	cases := [][]Edge{
+		nil,
+		{{0, 1}, {1, 2}, {0, 2}},
+		Grid2D(20, 30).Edges(),
+		GNM(500, 2000, 7).Edges(),
+		{{0, 0}, {1, 1}, {0, 1}}, // self loops dropped
+		{{0, 1}, {0, 1}, {1, 0}}, // parallel edges kept
+	}
+	for ci, edges := range cases {
+		n := 600
+		seq, err := FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 4} {
+			par, err := FromEdgesParallel(n, edges, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.NumVertices() != seq.NumVertices() || par.NumEdges() != seq.NumEdges() {
+				t.Fatalf("case %d workers %d: shape mismatch", ci, w)
+			}
+			for v := 0; v < n; v++ {
+				a, b := seq.Neighbors(uint32(v)), par.Neighbors(uint32(v))
+				if len(a) != len(b) {
+					t.Fatalf("case %d: degree mismatch at %d", ci, v)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("case %d: adjacency mismatch at %d", ci, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFromEdgesParallelErrors(t *testing.T) {
+	if _, err := FromEdgesParallel(2, []Edge{{0, 9}}, 2); err == nil {
+		t.Error("expected range error")
+	}
+	if _, err := FromEdgesParallel(-1, nil, 2); err == nil {
+		t.Error("expected negative-n error")
+	}
+}
+
+func TestFromEdgesParallelQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		n := 64
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{uint32(raw[i]) % uint32(n), uint32(raw[i+1]) % uint32(n)})
+		}
+		a, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		b, err := FromEdgesParallel(n, edges, 3)
+		if err != nil {
+			return false
+		}
+		if a.NumEdges() != b.NumEdges() {
+			return false
+		}
+		ea, eb := a.Edges(), b.Edges()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

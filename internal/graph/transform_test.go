@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPermutePreservesStructure(t *testing.T) {
+	g := Grid2D(6, 7)
+	perm := RandomPermutation(g.NumVertices(), 3)
+	p, err := Permute(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumVertices() != g.NumVertices() || p.NumEdges() != g.NumEdges() {
+		t.Fatal("shape changed")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if p.Degree(perm[v]) != g.Degree(uint32(v)) {
+			t.Fatalf("degree of %d changed under relabeling", v)
+		}
+		for _, u := range g.Neighbors(uint32(v)) {
+			if !p.HasEdge(perm[v], perm[u]) {
+				t.Fatalf("edge {%d,%d} lost", v, u)
+			}
+		}
+	}
+}
+
+func TestPermuteRejectsBadInput(t *testing.T) {
+	g := Path(4)
+	if _, err := Permute(g, []uint32{0, 1}); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := Permute(g, []uint32{0, 1, 1, 2}); err == nil {
+		t.Error("expected duplicate error")
+	}
+	if _, err := Permute(g, []uint32{0, 1, 2, 9}); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := Path(4)                                 // 0-1-2-3
+	b, _ := FromEdges(5, []Edge{{0, 2}, {3, 4}}) // extra chords
+	u := Union(a, b)
+	if u.NumVertices() != 5 {
+		t.Errorf("n=%d", u.NumVertices())
+	}
+	if u.NumEdges() != 5 {
+		t.Errorf("m=%d want 5", u.NumEdges())
+	}
+	if !u.HasEdge(0, 2) || !u.HasEdge(1, 2) || !u.HasEdge(3, 4) {
+		t.Error("missing union edges")
+	}
+}
+
+func TestAddRandomMatching(t *testing.T) {
+	g := Path(100)
+	h := AddRandomMatching(g, 10, 7)
+	if h.NumEdges() != g.NumEdges()+10 {
+		t.Errorf("added %d edges, want 10", h.NumEdges()-g.NumEdges())
+	}
+	tiny, _ := FromEdges(1, nil)
+	if AddRandomMatching(tiny, 5, 0).NumEdges() != 0 {
+		t.Error("single vertex cannot gain edges")
+	}
+}
+
+func TestContractClusters(t *testing.T) {
+	g := Grid2D(2, 4) // vertices 0..7
+	// Two clusters: left half {0,1,4,5} label 9, right half {2,3,6,7} label 4.
+	label := []uint32{9, 9, 4, 4, 9, 9, 4, 4}
+	q, quot, err := ContractClusters(g, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVertices() != 2 || q.NumEdges() != 1 {
+		t.Errorf("quotient n=%d m=%d", q.NumVertices(), q.NumEdges())
+	}
+	if quot[0] == quot[2] {
+		t.Error("different clusters mapped together")
+	}
+	if quot[0] != quot[1] || quot[2] != quot[3] {
+		t.Error("same cluster split")
+	}
+	if _, _, err := ContractClusters(g, []uint32{1}); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestSubdivide(t *testing.T) {
+	g := Cycle(4)
+	s := Subdivide(g, 3)
+	if s.NumVertices() != 4+2*4 || s.NumEdges() != 12 {
+		t.Errorf("n=%d m=%d", s.NumVertices(), s.NumEdges())
+	}
+	if !IsConnected(s) {
+		t.Error("subdivision disconnected")
+	}
+	// k=1 copies the graph.
+	c := Subdivide(g, 1)
+	if c.NumEdges() != g.NumEdges() || c.NumVertices() != g.NumVertices() {
+		t.Error("k=1 should copy")
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := GNM(30, 80, 2)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestReadDIMACSFeatures(t *testing.T) {
+	in := "c comment\np edge 3 2\ne 1 2\ne 2 3\n"
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Errorf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	// Duplicate arcs ("a") collapse.
+	in2 := "p sp 2 2\na 1 2\na 2 1\n"
+	g2, err := ReadDIMACS(strings.NewReader(in2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 1 {
+		t.Errorf("duplicate arcs not collapsed: m=%d", g2.NumEdges())
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"e 1 2",                  // edge before header
+		"p edge 2 1\ne 1 5",      // out of range
+		"p edge 2 1\ne 0 1",      // 0 is invalid (1-based)
+		"p edge x y\n",           // bad counts
+		"p edge 2 1\nz 1 2",      // unknown record
+		"",                       // no header
+		"p edge 2 1\np edge 2 1", // duplicate header
+		"p edge 2 1\ne 1",        // short edge
+	}
+	for i, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+const benchN = 1 << 20
+
+func BenchmarkForWorkers1(b *testing.B)  { benchFor(b, 1) }
+func BenchmarkForWorkers4(b *testing.B)  { benchFor(b, 4) }
+func BenchmarkForWorkers16(b *testing.B) { benchFor(b, 16) }
+
+func benchFor(b *testing.B, workers int) {
+	data := make([]int64, benchN)
+	b.SetBytes(benchN * 8)
+	for i := 0; i < b.N; i++ {
+		ForRange(workers, benchN, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				data[j]++
+			}
+		})
+	}
+}
+
+func BenchmarkForDynamic(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		var local int64
+		ForDynamic(4, 100000, 512, func(j int) {
+			atomic.AddInt64(&local, 1)
+		})
+		sink = local
+	}
+	_ = sink
+}
+
+func BenchmarkReduceInt64(b *testing.B) {
+	data := make([]int64, benchN)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	b.SetBytes(benchN * 8)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink = ReduceInt64(4, benchN, func(j int) int64 { return data[j] })
+	}
+	_ = sink
+}
+
+func BenchmarkExclusiveScan(b *testing.B) {
+	data := make([]int64, benchN)
+	b.SetBytes(benchN * 8)
+	for i := 0; i < b.N; i++ {
+		for j := range data {
+			data[j] = 1
+		}
+		ExclusiveScan(4, data)
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Pack(4, benchN, func(j int) bool { return j%3 == 0 })
+	}
+}
+
+func BenchmarkMinUint64Uncontended(b *testing.B) {
+	var x uint64 = 1 << 63
+	for i := 0; i < b.N; i++ {
+		MinUint64(&x, uint64(1<<63)-uint64(i))
+	}
+}

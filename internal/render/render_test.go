@@ -1,0 +1,90 @@
+package render
+
+import (
+	"bytes"
+	"image/png"
+	"strings"
+	"testing"
+
+	"mpx/internal/core"
+	"mpx/internal/graph"
+)
+
+func TestGridPNGDecodes(t *testing.T) {
+	g := graph.Grid2D(12, 16)
+	d, err := core.Partition(g, 0.2, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := GridPNG(&buf, d.Center, 12, 16, 1); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 16 || b.Dy() != 12 {
+		t.Errorf("image is %dx%d, want 16x12", b.Dx(), b.Dy())
+	}
+}
+
+func TestGridPNGSizeMismatch(t *testing.T) {
+	if err := GridPNG(&bytes.Buffer{}, make([]uint32, 5), 2, 3, 0); err == nil {
+		t.Error("expected size mismatch error")
+	}
+}
+
+func TestClusterColorsDistinctAndDeterministic(t *testing.T) {
+	a := ClusterColor(7, 1)
+	b := ClusterColor(7, 1)
+	if a != b {
+		t.Error("color not deterministic")
+	}
+	seen := map[[3]uint8]int{}
+	for c := uint32(0); c < 200; c++ {
+		col := ClusterColor(c, 1)
+		seen[[3]uint8{col.R, col.G, col.B}]++
+		if col.A != 255 {
+			t.Fatal("alpha must be opaque")
+		}
+	}
+	if len(seen) < 190 {
+		t.Errorf("only %d distinct colors among 200 clusters", len(seen))
+	}
+}
+
+func TestSameClusterSamePixelColor(t *testing.T) {
+	assignment := []uint32{0, 0, 1, 1}
+	var buf bytes.Buffer
+	if err := GridPNG(&buf, assignment, 2, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.At(0, 0) != img.At(1, 0) {
+		t.Error("same cluster, different colors")
+	}
+	if img.At(0, 0) == img.At(0, 1) {
+		t.Error("different clusters, same color")
+	}
+}
+
+func TestGridASCII(t *testing.T) {
+	assignment := []uint32{5, 5, 9, 9, 5, 9}
+	out := GridASCII(assignment, 2, 3)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 3 {
+		t.Fatalf("bad shape: %q", out)
+	}
+	if lines[0][0] != lines[0][1] || lines[0][0] == lines[0][2] {
+		t.Errorf("cluster lettering wrong: %q", out)
+	}
+	// Vertex 4 (row 1, col 1) is cluster 5 like vertex 0.
+	if lines[1][1] != lines[0][0] {
+		t.Errorf("cluster letter not stable across rows: %q", out)
+	}
+}
