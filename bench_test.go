@@ -246,6 +246,46 @@ func BenchmarkE12LowStretch(b *testing.B) {
 	b.ReportMetric(mean, "meanStretch")
 }
 
+// BenchmarkE19Direction sweeps the Partition traversal modes — push-only
+// against the Beamer-switching hybrid (and pull-only for reference) — on
+// the high-diameter grid (where the hybrid must not lose) and the
+// low-diameter gnm/rmat/hypercube families (where dense pull rounds win).
+func BenchmarkE19Direction(b *testing.B) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid2D(250, 250)},
+		{"gnm", graph.GNM(60000, 240000, 1)},
+		{"rmat", graph.RMAT(16, 240000, 2)},
+		{"hypercube", graph.Hypercube(16)},
+	}
+	modes := []struct {
+		name string
+		dir  core.Direction
+	}{
+		{"push", core.DirectionForcePush},
+		{"hybrid", core.DirectionAuto},
+		{"pull", core.DirectionForcePull},
+	}
+	for _, fam := range families {
+		for _, mode := range modes {
+			b.Run(fam.name+"/"+mode.name, func(b *testing.B) {
+				var relaxed int64
+				for i := 0; i < b.N; i++ {
+					d, err := core.Partition(fam.g, 0.1,
+						core.Options{Seed: 1, Direction: mode.dir})
+					if err != nil {
+						b.Fatal(err)
+					}
+					relaxed = d.Relaxed
+				}
+				b.ReportMetric(float64(relaxed)/float64(fam.g.NumEdges()), "relaxed/m")
+			})
+		}
+	}
+}
+
 // BenchmarkExperimentHarness runs the full experiment suite end to end at
 // test scale (integration smoke at benchmark cadence).
 func BenchmarkExperimentHarness(b *testing.B) {

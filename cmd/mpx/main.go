@@ -22,34 +22,63 @@ import (
 
 func main() {
 	var (
-		gen      = flag.String("gen", "grid", "generator: grid|torus|path|cycle|tree|hypercube|gnm|rmat|pa|road (ignored with -in)")
-		rows     = flag.Int("rows", 100, "grid/torus/road rows")
-		cols     = flag.Int("cols", 100, "grid/torus/road cols")
-		n        = flag.Int("n", 10000, "vertex count for path/cycle/tree/gnm/pa")
-		m        = flag.Int64("m", 40000, "edge count for gnm/rmat")
-		scale    = flag.Int("scale", 14, "rmat/hypercube scale (n = 2^scale)")
-		in       = flag.String("in", "", "read edge-list graph from file instead of generating")
-		dimacs   = flag.Bool("dimacs", false, "treat -in file as DIMACS format")
-		beta     = flag.Float64("beta", 0.1, "decomposition parameter in (0,1)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		algo     = flag.String("algo", "mpx", "algorithm: mpx|seq|exact|ballgrow|iterative|weighted|weighted-par")
-		wmax     = flag.Float64("wmax", 4, "max edge weight for weighted algorithms (U(1,wmax))")
-		tie      = flag.String("tie", "fractional", "tie-break: fractional|permutation")
-		pngPath  = flag.String("png", "", "write cluster coloring PNG (grid generators only)")
-		validate = flag.Bool("validate", false, "run full O(m) decomposition validation")
+		gen       = flag.String("gen", "grid", "generator: grid|torus|path|cycle|tree|hypercube|gnm|rmat|pa|road (ignored with -in)")
+		rows      = flag.Int("rows", 100, "grid/torus/road rows")
+		cols      = flag.Int("cols", 100, "grid/torus/road cols")
+		n         = flag.Int("n", 10000, "vertex count for path/cycle/tree/gnm/pa")
+		m         = flag.Int64("m", 40000, "edge count for gnm/rmat")
+		scale     = flag.Int("scale", 14, "rmat/hypercube scale (n = 2^scale)")
+		in        = flag.String("in", "", "read edge-list graph from file instead of generating")
+		dimacs    = flag.Bool("dimacs", false, "treat -in file as DIMACS format")
+		beta      = flag.Float64("beta", 0.1, "decomposition parameter in (0,1)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		algo      = flag.String("algo", "mpx", "algorithm: mpx|seq|exact|ballgrow|iterative|weighted|weighted-par")
+		wmax      = flag.Float64("wmax", 4, "max edge weight for weighted algorithms (U(1,wmax))")
+		tie       = flag.String("tie", "fractional", "tie-break: fractional|permutation")
+		direction = flag.String("direction", "auto", "partition traversal: auto|push|pull (mpx algorithm only)")
+		pngPath   = flag.String("png", "", "write cluster coloring PNG (grid generators only)")
+		validate  = flag.Bool("validate", false, "run full O(m) decomposition validation")
 	)
 	flag.Parse()
+
+	// Enumerated flags are validated up front and exit with the valid set: a
+	// typo like "-tie perm" must not silently change results by falling back
+	// to a default.
+	tieBreaks := map[string]core.TieBreak{
+		"fractional":  core.TieFractional,
+		"permutation": core.TiePermutation,
+	}
+	directions := map[string]core.Direction{
+		"auto": core.DirectionAuto,
+		"push": core.DirectionForcePush,
+		"pull": core.DirectionForcePull,
+	}
+	validAlgos := map[string]bool{
+		"mpx": true, "seq": true, "exact": true, "ballgrow": true,
+		"iterative": true, "weighted": true, "weighted-par": true,
+	}
+	tieBreak, ok := tieBreaks[*tie]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mpx: unknown -tie value %q (valid: fractional, permutation)\n", *tie)
+		os.Exit(2)
+	}
+	dir, ok := directions[*direction]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mpx: unknown -direction value %q (valid: auto, push, pull)\n", *direction)
+		os.Exit(2)
+	}
+	if !validAlgos[*algo] {
+		fmt.Fprintf(os.Stderr, "mpx: unknown -algo value %q (valid: mpx, seq, exact, ballgrow, iterative, weighted, weighted-par)\n", *algo)
+		os.Exit(2)
+	}
 
 	g, gridRows, gridCols, err := buildGraph(*in, *dimacs, *gen, *rows, *cols, *n, *m, *scale, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpx:", err)
 		os.Exit(1)
 	}
-	opts := core.Options{Seed: *seed, Workers: *workers}
-	if *tie == "permutation" {
-		opts.TieBreak = core.TiePermutation
-	}
+	opts := core.Options{Seed: *seed, Workers: *workers, TieBreak: tieBreak, Direction: dir}
 
 	if *algo == "weighted" || *algo == "weighted-par" {
 		wg := graph.RandomWeights(g, 1, *wmax, *seed)
@@ -91,7 +120,7 @@ func main() {
 	case "iterative":
 		d, err = core.PartitionIterative(g, *beta, *seed, *workers)
 	default:
-		err = fmt.Errorf("unknown algorithm %q", *algo)
+		panic("unreachable: -algo validated against validAlgos above")
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpx:", err)

@@ -1,0 +1,3 @@
+module mpx
+
+go 1.24

@@ -143,7 +143,10 @@ func expandTopDown(g *graph.Graph, frontier []uint32, state []int32,
 // frontier's outgoing arc count exceeds 1/alpha of the remaining arcs, and
 // back to top-down once the frontier shrinks below n/beta (without the
 // switch-back, high-diameter graphs pay O(n·diameter) bottom-up scans).
-// alpha=15, beta=24 are the conventional settings.
+// alpha=15, beta=24 are the conventional settings. The frontier and claim
+// bitmaps are bit-packed (parallel.Bitset, shared with the frontier
+// package's dense subsets) and reused across rounds, so a bottom-up round
+// costs O(n/64) words to reset rather than O(n) bools.
 func DirectionOptimizing(g *graph.Graph, source uint32, workers int) *Result {
 	const alpha = 15
 	const betaDown = 24
@@ -156,7 +159,8 @@ func DirectionOptimizing(g *graph.Graph, source uint32, workers int) *Result {
 		res.Dist[i] = Unreached
 		res.Parent[i] = uint32(i)
 	}
-	inFrontier := make([]bool, n)
+	inFrontier := parallel.NewBitset(n)
+	claimed := parallel.NewBitset(n)
 	state := make([]int32, n)
 	res.Dist[source] = 0
 	state[source] = 1
@@ -181,16 +185,15 @@ func DirectionOptimizing(g *graph.Graph, source uint32, workers int) *Result {
 		}
 		if bottomUp {
 			// Bottom-up: every unvisited vertex scans its neighbors for a
-			// frontier member. Side effects live outside the Pack predicate
-			// (Pack evaluates it twice: count and fill), so the sweep runs
-			// once with a plain parallel loop into a claim array.
-			for i := range inFrontier {
-				inFrontier[i] = false
-			}
+			// frontier member. Side effects live outside the claim bitset's
+			// member scan, so the sweep runs once with a plain parallel
+			// loop; each vertex sets only its own bit (atomically, since
+			// 64 vertices share a word).
+			inFrontier.Reset(workers)
 			for _, v := range frontier {
-				inFrontier[v] = true
+				inFrontier.Set(v)
 			}
-			claimedAt := make([]int32, n)
+			claimed.Reset(workers)
 			parallel.ForRange(workers, n, func(lo, hi int) {
 				var local int64
 				for i := lo; i < hi; i++ {
@@ -199,17 +202,17 @@ func DirectionOptimizing(g *graph.Graph, source uint32, workers int) *Result {
 					}
 					for _, u := range g.Neighbors(uint32(i)) {
 						local++
-						if inFrontier[u] {
+						if inFrontier.Get(u) {
 							res.Dist[i] = depth
 							res.Parent[i] = u
-							claimedAt[i] = 1
+							claimed.SetAtomic(uint32(i))
 							break
 						}
 					}
 				}
 				atomic.AddInt64(&relaxed, local)
 			})
-			next := parallel.Pack(workers, n, func(i int) bool { return claimedAt[i] == 1 })
+			next := claimed.Members(frontier[:0])
 			for _, v := range next {
 				state[v] = 1
 			}

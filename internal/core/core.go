@@ -81,8 +81,39 @@ func (s ShiftSource) String() string {
 	}
 }
 
+// Direction selects how Partition's BFS rounds traverse the graph.
+type Direction int
+
+const (
+	// DirectionAuto switches per round between push (top-down) and pull
+	// (bottom-up) with the Beamer alpha/beta heuristic — push while the
+	// frontier's outgoing arcs are few, pull once they dominate the
+	// unexplored arcs, and back again as the frontier drains.
+	DirectionAuto Direction = iota
+	// DirectionForcePush pins every round to top-down expansion (the
+	// original atomic-min push engine).
+	DirectionForcePush
+	// DirectionForcePull pins every round to bottom-up scans (each
+	// unclaimed vertex serially minimizes over its neighborhood).
+	DirectionForcePull
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirectionAuto:
+		return "auto"
+	case DirectionForcePush:
+		return "push"
+	case DirectionForcePull:
+		return "pull"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
 // Options configure Partition. The zero value is valid: seed 0, GOMAXPROCS
-// workers, fractional tie-breaking, exponential shifts.
+// workers, fractional tie-breaking, exponential shifts, automatic traversal
+// direction.
 type Options struct {
 	// Seed fixes all randomness. Two runs with the same seed, graph and β
 	// produce identical decompositions at any worker count.
@@ -93,6 +124,11 @@ type Options struct {
 	TieBreak TieBreak
 	// ShiftSource selects the shift distribution.
 	ShiftSource ShiftSource
+	// Direction selects the per-round traversal mode. Push and pull rounds
+	// resolve claims to the same minimum packed (rank, proposer) key, so
+	// every mode produces the identical decomposition; the choice only
+	// moves work between cache-friendly dense scans and sparse expansions.
+	Direction Direction
 	// MaxRadius, when positive, aborts BFS trees at this distance from
 	// their center; the proof of Theorem 1.2 notes the algorithm may be
 	// stopped once a piece exceeds the O(log n/β) radius bound and retried.

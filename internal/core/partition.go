@@ -12,6 +12,23 @@ import (
 // both below 2^32-1) compares smaller.
 const unclaimed = ^uint64(0)
 
+// Direction-switch constants in the style of Beamer et al. (SC 2012 — the
+// paper's ref [8]), recalibrated for claim resolution: unlike BFS
+// bottom-up, which stops at the first frontier parent, a pull round must
+// scan each unclaimed vertex's whole neighborhood to find the true minimum
+// key, so its cost is the full unexplored arc count. Pull therefore pays
+// only once the unexplored arcs fall below a small multiple of the frontier
+// arcs (the multiple buys back push's atomic-CAS and scattered-write
+// overhead), with a wider exit band as hysteresis.
+const (
+	pullEnter = 2 // enter pull when frontierArcs*pullEnter > remainingArcs
+	pullKeep  = 4 // stay pulling while frontierArcs*pullKeep > remainingArcs
+	// pullMinFrac gates entry on frontierArcs > n/pullMinFrac: building the
+	// unclaimed cohort costs a fixed O(n) pack, which a thin frontier (the
+	// slow wavefront of a high-diameter grid) can never pay back.
+	pullMinFrac = 8
+)
+
 // Partition computes a (β, O(log n/β)) decomposition of g — the paper's
 // Algorithm 1/2. Every vertex u draws δ_u ~ Exp(β); v joins the cluster of
 // the center minimizing dist(u,v) − δ_u, with same-round ties broken by the
@@ -19,9 +36,16 @@ const unclaimed = ^uint64(0)
 //
 // The implementation is the Section 5 reduction to a single multi-source
 // BFS: vertex u may start a cluster at round ⌊δ_max − δ_u⌋, claims are
-// resolved per round by an atomic minimum on (rank(center), proposer), and
-// each round is expanded with level-synchronous parallelism. The output is
-// deterministic for fixed (graph, β, seed) at any worker count.
+// resolved per round by a minimum over (rank(center), proposer) keys, and
+// each round is expanded with level-synchronous parallelism. Rounds run in
+// one of two directions: push (frontier vertices propose to unclaimed
+// neighbors, racing through an atomic minimum) or pull (each unclaimed
+// vertex serially scans its own neighborhood and takes the minimum key —
+// race-free by construction). Both directions resolve every claim to the
+// same minimum over the same proposal set, so the output is bit-identical
+// across directions and deterministic for fixed (graph, β, seed) at any
+// worker count. Options.Direction selects push, pull, or automatic
+// per-round Beamer switching.
 //
 // Expected cost matches Theorem 1.2: O(m) work and O(log²n/β) depth — here
 // realized as O((log n/β) · rounds) with each round a constant number of
@@ -60,7 +84,12 @@ func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, erro
 		return uint64(plan.rank[v])<<32 | uint64(v)
 	}
 
+	offsets := g.Offsets()
 	var frontier []uint32
+	var pullList []uint32  // unclaimed cohort, valid only across pull rounds
+	var frontierArcs int64 // outgoing arcs of the current frontier
+	remainingArcs := g.NumArcs()
+	pulling := false
 	var relaxed int64
 	t := int32(0)
 	maxBucket := int32(len(plan.buckets) - 1)
@@ -82,7 +111,38 @@ func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, erro
 			bucket = plan.buckets[t]
 		}
 
-		newly := runRound(g, frontier, bucket, claim, level, d.Center, d.Dist, opts, packed, &relaxed)
+		// Direction decision; the inputs (frontier size, arc counts) are
+		// deterministic, so the push/pull schedule is too.
+		switch opts.Direction {
+		case DirectionForcePush:
+			pulling = false
+		case DirectionForcePull:
+			pulling = true
+		default:
+			if pulling {
+				pulling = frontierArcs*pullKeep > remainingArcs
+			} else {
+				pulling = frontierArcs*pullEnter > remainingArcs &&
+					frontierArcs > int64(n)/pullMinFrac
+			}
+		}
+
+		var newly []uint32
+		if pulling {
+			// The pull cohort is the unclaimed vertex list, kept filtered
+			// across consecutive pull rounds so each round costs
+			// O(|unclaimed| + arcs(unclaimed)), not O(n). Push rounds claim
+			// vertices without maintaining it, so it is rebuilt on re-entry.
+			if pullList == nil {
+				pullList = parallel.Pack(opts.Workers, n, func(i int) bool {
+					return level[i] == -1
+				})
+			}
+			newly, pullList = runRoundPull(g, plan, claim, level, d.Center, d.Dist, t, opts, packed, &relaxed, pullList)
+		} else {
+			pullList = nil
+			newly = runRound(g, frontier, bucket, claim, level, d.Center, d.Dist, opts, packed, &relaxed)
+		}
 
 		// Resolution: finalize every vertex claimed this round. Claim words
 		// are stable now (barrier above), so plain reads are safe.
@@ -103,6 +163,14 @@ func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, erro
 				}
 			}
 		})
+		// Track arc counts incrementally for the Beamer switch: the newly
+		// claimed vertices are the next frontier and leave the unexplored
+		// set.
+		frontierArcs = parallel.ReduceInt64(opts.Workers, len(newly), func(i int) int64 {
+			v := newly[i]
+			return offsets[v+1] - offsets[v]
+		})
+		remainingArcs -= frontierArcs
 		frontier = newly
 		d.Rounds++
 		t++
@@ -111,11 +179,12 @@ func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, erro
 	return d, nil
 }
 
-// runRound gathers self-proposals from this round's start bucket and
-// expansion proposals from the previous frontier, resolving them with an
-// atomic minimum per target vertex. It returns the set of vertices claimed
-// this round (each exactly once, appended by the proposer that first
-// transitioned the claim word away from the sentinel).
+// runRound is the push (top-down) round: it gathers self-proposals from
+// this round's start bucket and expansion proposals from the previous
+// frontier, resolving them with an atomic minimum per target vertex. It
+// returns the set of vertices claimed this round (each exactly once,
+// appended by the proposer that first transitioned the claim word away from
+// the sentinel).
 func runRound(g *graph.Graph, frontier, bucket []uint32, claim []uint64,
 	level []int32, center []uint32, dist []int32, opts Options,
 	packed func(uint32) uint64, relaxed *int64) []uint32 {
@@ -176,6 +245,86 @@ func runRound(g *graph.Graph, frontier, bucket []uint32, claim []uint64,
 		out = append(out, b...)
 	}
 	return out
+}
+
+// runRoundPull is the pull (bottom-up) round: every vertex of the
+// unclaimed cohort scans its own neighborhood for round-(t−1) frontier
+// members plus its own self-proposal (when its start bucket is t) and takes
+// the minimum packed (rank, proposer) key serially. Only the owning vertex
+// writes its claim word, so the round is race-free, and the minimum it
+// computes is over exactly the proposal set the push round would race
+// through an atomic minimum — the resulting claim words, and therefore the
+// decomposition, are bit-identical. The cohort splits into the claimed set
+// (returned as the next frontier) and the still-open remainder (the next
+// round's cohort); both preserve the cohort's vertex order.
+func runRoundPull(g *graph.Graph, plan *shiftPlan, claim []uint64,
+	level []int32, center []uint32, dist []int32, t int32, opts Options,
+	packed func(uint32) uint64, relaxed *int64, cohort []uint32) (newly, rest []uint32) {
+
+	// prev identifies frontier members by their claim round. It is -1 on
+	// the very first round (t == 0), where unclaimed vertices also carry
+	// level -1 — scanning neighbors there would mistake every unclaimed
+	// vertex for a frontier member, so the scan is skipped entirely (the
+	// frontier is empty at t == 0 by construction).
+	prev := t - 1
+	scanNeighbors := prev >= 0
+	w := parallel.Workers(opts.Workers, len(cohort))
+	claimedBufs := make([][]uint32, w)
+	openBufs := make([][]uint32, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo := k * len(cohort) / w
+		hi := (k + 1) * len(cohort) / w
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			var claimedBuf, openBuf []uint32
+			var local int64
+			for i := lo; i < hi; i++ {
+				u := cohort[i]
+				best := unclaimed
+				if plan.bucket[u] == t {
+					best = packed(u)
+				}
+				if scanNeighbors {
+					for _, v := range g.Neighbors(u) {
+						local++
+						if level[v] != prev {
+							continue // not a current-frontier member
+						}
+						if opts.MaxRadius > 0 && dist[v] >= opts.MaxRadius {
+							continue // tree capped; matches the push-side skip
+						}
+						if p := packed(center[v])&^0xffffffff | uint64(v); p < best {
+							best = p
+						}
+					}
+				}
+				if best != unclaimed {
+					claim[u] = best
+					claimedBuf = append(claimedBuf, u)
+				} else {
+					openBuf = append(openBuf, u)
+				}
+			}
+			claimedBufs[k] = claimedBuf
+			openBufs[k] = openBuf
+			atomic.AddInt64(relaxed, local)
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	var claimedTotal, openTotal int
+	for k := 0; k < w; k++ {
+		claimedTotal += len(claimedBufs[k])
+		openTotal += len(openBufs[k])
+	}
+	newly = make([]uint32, 0, claimedTotal)
+	rest = make([]uint32, 0, openTotal)
+	for k := 0; k < w; k++ {
+		newly = append(newly, claimedBufs[k]...)
+		rest = append(rest, openBufs[k]...)
+	}
+	return newly, rest
 }
 
 // proposeMin lowers *addr to v if smaller and reports whether this call was

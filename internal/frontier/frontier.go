@@ -2,13 +2,14 @@
 // layer (Shun & Blelloch 2013, the paper's reference [26] for practical
 // parallel BFS): vertex subsets with automatic sparse/dense representation
 // switching and an EdgeMap that picks top-down (sparse) or bottom-up
-// (dense) traversal by frontier size. The BFS and decomposition loops in
-// this repository inline their traversals for performance; this package
-// provides the same machinery as a reusable abstraction and is
-// cross-tested against them.
+// (dense) traversal by frontier size. Dense subsets are bit-packed
+// (parallel.Bitset), the same bitset type the low-level hybrid BFS and the
+// decomposition engine build on — the traversal machinery is shared across
+// the three, and this package's EdgeMap is cross-tested against them.
 package frontier
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -17,12 +18,18 @@ import (
 )
 
 // Subset is a set of vertices of a fixed-size universe, stored sparse
-// (id list) or dense (bitmap) depending on size.
+// (id list) or dense (bit-packed bitmap) depending on size.
 type Subset struct {
 	n      int
 	sparse []uint32 // valid when dense == nil
-	dense  []bool
+	dense  *parallel.Bitset
 	count  int
+	// arcs caches the summed out-degree of the members (the Beamer
+	// direction-switch statistic); valid when arcsOK. EdgeMap fills it
+	// incrementally while building its output so the next round's switch
+	// decision costs nothing.
+	arcs   int64
+	arcsOK bool
 }
 
 // NewSubset builds a sparse subset from ids (not copied; caller yields
@@ -31,15 +38,10 @@ func NewSubset(n int, ids []uint32) *Subset {
 	return &Subset{n: n, sparse: ids, count: len(ids)}
 }
 
-// NewDenseSubset builds a dense subset from a bitmap (ownership yielded).
-func NewDenseSubset(bitmap []bool) *Subset {
-	count := 0
-	for _, b := range bitmap {
-		if b {
-			count++
-		}
-	}
-	return &Subset{n: len(bitmap), dense: bitmap, count: count}
+// NewDenseSubset builds a dense subset from a bit-packed bitmap (ownership
+// yielded).
+func NewDenseSubset(bitmap *parallel.Bitset) *Subset {
+	return &Subset{n: bitmap.Len(), dense: bitmap, count: bitmap.Count(0)}
 }
 
 // Len returns the subset size.
@@ -51,7 +53,7 @@ func (s *Subset) IsEmpty() bool { return s.count == 0 }
 // Contains reports membership.
 func (s *Subset) Contains(v uint32) bool {
 	if s.dense != nil {
-		return s.dense[v]
+		return s.dense.Get(v)
 	}
 	for _, u := range s.sparse {
 		if u == v {
@@ -69,25 +71,55 @@ func (s *Subset) Vertices() []uint32 {
 		copy(out, s.sparse)
 		return out
 	}
-	out := make([]uint32, 0, s.count)
-	for v, in := range s.dense {
-		if in {
-			out = append(out, uint32(v))
-		}
-	}
-	return out
+	return s.dense.Members(make([]uint32, 0, s.count))
 }
 
-// toDense returns the bitmap view, building it if needed.
-func (s *Subset) toDense() []bool {
+// ArcCount returns the summed out-degree of the members, computing and
+// caching it on first use. Subsets built by EdgeMap carry the count from
+// construction, so the hot path never rescans a frontier.
+func (s *Subset) ArcCount(g *graph.Graph, workers int) int64 {
+	if s.arcsOK {
+		return s.arcs
+	}
+	var arcs int64
+	if s.dense != nil {
+		offsets := g.Offsets()
+		words := s.dense.Words()
+		arcs = parallel.ReduceInt64(workers, len(words), func(wi int) int64 {
+			w := words[wi]
+			base := uint32(wi) << 6
+			var local int64
+			for ; w != 0; w &= w - 1 {
+				v := base + uint32(bits.TrailingZeros64(w))
+				local += offsets[v+1] - offsets[v]
+			}
+			return local
+		})
+	} else {
+		arcs = parallel.ReduceInt64(workers, len(s.sparse), func(i int) int64 {
+			return int64(g.Degree(s.sparse[i]))
+		})
+	}
+	s.arcs = arcs
+	s.arcsOK = true
+	return arcs
+}
+
+// toBitset returns the bit-packed view, building it into scratch (reset
+// first) if the subset is sparse. scratch may be nil.
+func (s *Subset) toBitset(scratch *parallel.Bitset, workers int) *parallel.Bitset {
 	if s.dense != nil {
 		return s.dense
 	}
-	d := make([]bool, s.n)
-	for _, v := range s.sparse {
-		d[v] = true
+	if scratch == nil || scratch.Len() != s.n {
+		scratch = parallel.NewBitset(s.n)
+	} else {
+		scratch.Reset(workers)
 	}
-	return d
+	for _, v := range s.sparse {
+		scratch.Set(v)
+	}
+	return scratch
 }
 
 // Options tune EdgeMap.
@@ -101,14 +133,42 @@ type Options struct {
 	ForceSparse, ForceDense bool
 }
 
+// Traversal carries the reusable scratch state for a frontier loop over one
+// graph: the claim bitset that deduplicates sparse admissions, a spare dense
+// bitmap recycled between dense rounds, and the per-worker output buffers.
+// Reusing a Traversal across EdgeMap rounds removes the per-round O(n)
+// allocations the one-shot entry point pays.
+type Traversal struct {
+	g       *graph.Graph
+	claimed *parallel.Bitset // dedup for sparse rounds; cleared per-member
+	front   *parallel.Bitset // sparse->dense conversion scratch
+	spare   *parallel.Bitset // next dense output, recycled via Recycle
+	buffers [][]uint32       // per-worker sparse output buffers
+}
+
+// NewTraversal allocates scratch for frontier loops over g.
+func NewTraversal(g *graph.Graph) *Traversal {
+	return &Traversal{g: g, claimed: parallel.NewBitset(g.NumVertices())}
+}
+
+// Recycle hands a dead subset's dense bitmap back for reuse by the next
+// dense round. Call it on the previous frontier once EdgeMap has produced
+// the next one; the subset must not be used afterwards.
+func (t *Traversal) Recycle(s *Subset) {
+	if s != nil && s.dense != nil && t.spare == nil && s.dense != t.front {
+		t.spare = s.dense
+	}
+}
+
 // EdgeMap applies update(src, dst) over all edges out of the frontier whose
 // target passes cond(dst). update returns true when dst should join the
 // output frontier; it must be atomic/idempotent (it may race on dense
 // sweeps exactly as in Ligra). The returned subset contains each admitted
 // target exactly once.
-func EdgeMap(g *graph.Graph, front *Subset, cond func(uint32) bool,
+func (t *Traversal) EdgeMap(front *Subset, cond func(uint32) bool,
 	update func(src, dst uint32) bool, opts Options) *Subset {
 
+	g := t.g
 	if front.IsEmpty() {
 		return NewSubset(g.NumVertices(), nil)
 	}
@@ -116,26 +176,38 @@ func EdgeMap(g *graph.Graph, front *Subset, cond func(uint32) bool,
 	if threshold <= 0 {
 		threshold = 20
 	}
-	var frontierArcs int64
-	for _, v := range front.Vertices() {
-		frontierArcs += int64(g.Degree(v))
-	}
+	frontierArcs := front.ArcCount(g, opts.Workers)
 	useDense := !opts.ForceSparse &&
 		(opts.ForceDense || frontierArcs > g.NumArcs()/threshold)
 	if useDense {
-		return edgeMapDense(g, front, cond, update, opts)
+		return t.edgeMapDense(front, cond, update, opts)
 	}
-	return edgeMapSparse(g, front, cond, update, opts)
+	return t.edgeMapSparse(front, cond, update, opts)
 }
 
-// edgeMapSparse walks out-edges of frontier members (top-down).
-func edgeMapSparse(g *graph.Graph, front *Subset, cond func(uint32) bool,
+// EdgeMap is the one-shot entry point: it allocates fresh scratch per call.
+// Loops should hold a Traversal instead.
+func EdgeMap(g *graph.Graph, front *Subset, cond func(uint32) bool,
+	update func(src, dst uint32) bool, opts Options) *Subset {
+	return NewTraversal(g).EdgeMap(front, cond, update, opts)
+}
+
+// edgeMapSparse walks out-edges of frontier members (top-down). Admissions
+// are deduplicated with an atomic claim on the shared bitset, which is
+// cleared per admitted member afterwards (O(out), not O(n)).
+func (t *Traversal) edgeMapSparse(front *Subset, cond func(uint32) bool,
 	update func(src, dst uint32) bool, opts Options) *Subset {
 
+	g := t.g
 	members := front.Vertices()
 	w := parallel.Workers(opts.Workers, len(members))
-	buffers := make([][]uint32, w)
-	claimed := make([]int32, g.NumVertices())
+	if cap(t.buffers) < w {
+		t.buffers = make([][]uint32, w)
+	}
+	buffers := t.buffers[:w]
+	claimed := t.claimed
+	offsets := g.Offsets()
+	arcCounts := make([]int64, w)
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
@@ -143,7 +215,8 @@ func edgeMapSparse(g *graph.Graph, front *Subset, cond func(uint32) bool,
 		hi := (k + 1) * len(members) / w
 		go func(k, lo, hi int) {
 			defer wg.Done()
-			var buf []uint32
+			buf := buffers[k][:0]
+			var arcs int64
 			for i := lo; i < hi; i++ {
 				v := members[i]
 				for _, u := range g.Neighbors(v) {
@@ -151,51 +224,79 @@ func edgeMapSparse(g *graph.Graph, front *Subset, cond func(uint32) bool,
 						continue
 					}
 					if update(v, u) {
-						// Deduplicate output admission with a CAS claim.
-						if atomic.CompareAndSwapInt32(&claimed[u], 0, 1) {
+						// Deduplicate output admission with an atomic claim.
+						if claimed.TrySetAtomic(u) {
 							buf = append(buf, u)
+							arcs += offsets[u+1] - offsets[u]
 						}
 					}
 				}
 			}
 			buffers[k] = buf
+			arcCounts[k] = arcs
 		}(k, lo, hi)
 	}
 	wg.Wait()
 	var total int
-	for _, b := range buffers {
+	var outArcs int64
+	for k, b := range buffers {
 		total += len(b)
+		outArcs += arcCounts[k]
 	}
 	out := make([]uint32, 0, total)
 	for _, b := range buffers {
 		out = append(out, b...)
+		// Reset the claim bits so the next round starts clean.
+		for _, u := range b {
+			claimed.Clear(u)
+		}
 	}
-	return NewSubset(g.NumVertices(), out)
+	s := NewSubset(g.NumVertices(), out)
+	s.arcs, s.arcsOK = outArcs, true
+	return s
 }
 
 // edgeMapDense scans all vertices, pulling from frontier members
-// (bottom-up); each passing vertex probes its own neighborhood.
-func edgeMapDense(g *graph.Graph, front *Subset, cond func(uint32) bool,
+// (bottom-up); each passing vertex probes its own neighborhood. The output
+// bitmap comes from the recycled spare when one is available.
+func (t *Traversal) edgeMapDense(front *Subset, cond func(uint32) bool,
 	update func(src, dst uint32) bool, opts Options) *Subset {
 
-	bitmap := front.toDense()
+	g := t.g
 	n := g.NumVertices()
-	out := make([]bool, n)
+	bitmap := front.toBitset(t.front, opts.Workers)
+	if front.dense == nil {
+		t.front = bitmap // keep the conversion scratch for reuse
+	}
+	out := t.spare
+	if out == nil || out.Len() != n {
+		out = parallel.NewBitset(n)
+	} else {
+		out.Reset(opts.Workers)
+	}
+	t.spare = nil
+	offsets := g.Offsets()
+	var outArcs int64
 	parallel.ForRange(opts.Workers, n, func(lo, hi int) {
+		var arcs int64
 		for v := lo; v < hi; v++ {
 			u := uint32(v)
 			if !cond(u) {
 				continue
 			}
 			for _, src := range g.Neighbors(u) {
-				if bitmap[src] && update(src, u) {
-					out[v] = true
+				if bitmap.Get(src) && update(src, u) {
+					out.SetAtomic(u)
+					arcs += offsets[u+1] - offsets[u]
 					break
 				}
 			}
 		}
+		atomic.AddInt64(&outArcs, arcs)
 	})
-	return NewDenseSubset(out)
+	s := NewDenseSubset(out)
+	s.arcs, s.arcsOK = outArcs, true
+	return s
 }
 
 // VertexMap applies f to every member of the subset in parallel.
@@ -224,23 +325,26 @@ func BFS(g *graph.Graph, source uint32, opts Options) []int32 {
 	for i := range dist {
 		dist[i] = -1
 	}
-	visited := make([]int32, n)
+	visited := parallel.NewBitset(n)
 	dist[source] = 0
-	visited[source] = 1
+	visited.Set(source)
+	tr := NewTraversal(g)
 	front := NewSubset(n, []uint32{source})
 	depth := int32(0)
 	for !front.IsEmpty() {
 		depth++
 		d := depth
-		front = EdgeMap(g, front,
-			func(u uint32) bool { return atomic.LoadInt32(&visited[u]) == 0 },
+		next := tr.EdgeMap(front,
+			func(u uint32) bool { return !visited.GetAtomic(u) },
 			func(src, dst uint32) bool {
-				if atomic.CompareAndSwapInt32(&visited[dst], 0, 1) {
+				if visited.TrySetAtomic(dst) {
 					dist[dst] = d
 					return true
 				}
 				return false
 			}, opts)
+		tr.Recycle(front)
+		front = next
 	}
 	return dist
 }

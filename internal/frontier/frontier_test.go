@@ -6,6 +6,7 @@ import (
 
 	"mpx/internal/bfs"
 	"mpx/internal/graph"
+	"mpx/internal/parallel"
 )
 
 func TestSubsetBasics(t *testing.T) {
@@ -23,8 +24,9 @@ func TestSubsetBasics(t *testing.T) {
 }
 
 func TestDenseSubset(t *testing.T) {
-	bitmap := make([]bool, 8)
-	bitmap[2], bitmap[6] = true, true
+	bitmap := parallel.NewBitset(8)
+	bitmap.Set(2)
+	bitmap.Set(6)
 	s := NewDenseSubset(bitmap)
 	if s.Len() != 2 || !s.Contains(2) || s.Contains(3) {
 		t.Error("dense subset wrong")
@@ -32,6 +34,96 @@ func TestDenseSubset(t *testing.T) {
 	vs := s.Vertices()
 	if len(vs) != 2 || vs[0] != 2 || vs[1] != 6 {
 		t.Errorf("vertices %v", vs)
+	}
+}
+
+// TestDenseSubsetSpansWords checks the bit-packed representation across
+// word boundaries (members in different uint64 words, including bit 63/64).
+func TestDenseSubsetSpansWords(t *testing.T) {
+	bitmap := parallel.NewBitset(200)
+	want := []uint32{0, 63, 64, 127, 128, 199}
+	for _, v := range want {
+		bitmap.Set(v)
+	}
+	s := NewDenseSubset(bitmap)
+	if s.Len() != len(want) {
+		t.Fatalf("Len=%d want %d", s.Len(), len(want))
+	}
+	vs := s.Vertices()
+	for i, v := range want {
+		if vs[i] != v {
+			t.Fatalf("Vertices[%d]=%d want %d", i, vs[i], v)
+		}
+		if !s.Contains(v) {
+			t.Errorf("Contains(%d)=false", v)
+		}
+	}
+	if s.Contains(1) || s.Contains(65) || s.Contains(198) {
+		t.Error("phantom members")
+	}
+}
+
+// TestEdgeMapDenseMatchesSparse runs the same traversal through the
+// bit-packed dense path and the sparse path and demands identical admitted
+// sets — the cross-check for the packed-bitmap pull engine.
+func TestEdgeMapDenseMatchesSparse(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Grid2D(11, 13),
+		graph.GNM(300, 1200, 7),
+		graph.Star(150),
+		graph.Hypercube(7),
+	}
+	for gi, g := range graphs {
+		n := g.NumVertices()
+		frontMembers := make([]uint32, 0, n/3)
+		for v := 0; v < n; v += 3 {
+			frontMembers = append(frontMembers, uint32(v))
+		}
+		run := func(opts Options) map[uint32]bool {
+			visited := make([]int32, n)
+			for _, v := range frontMembers {
+				visited[v] = 1
+			}
+			out := EdgeMap(g, NewSubset(n, append([]uint32(nil), frontMembers...)),
+				func(u uint32) bool { return atomic.LoadInt32(&visited[u]) == 0 },
+				func(src, dst uint32) bool {
+					return atomic.CompareAndSwapInt32(&visited[dst], 0, 1)
+				}, opts)
+			set := make(map[uint32]bool, out.Len())
+			for _, v := range out.Vertices() {
+				set[v] = true
+			}
+			return set
+		}
+		sparse := run(Options{ForceSparse: true, Workers: 4})
+		dense := run(Options{ForceDense: true, Workers: 4})
+		if len(sparse) != len(dense) {
+			t.Fatalf("graph %d: sparse admitted %d, dense admitted %d", gi, len(sparse), len(dense))
+		}
+		for v := range sparse {
+			if !dense[v] {
+				t.Fatalf("graph %d: vertex %d admitted by sparse but not dense", gi, v)
+			}
+		}
+	}
+}
+
+// TestTraversalReuseAcrossRounds drives a full BFS through one Traversal
+// (scratch reused every round, dense bitmaps recycled) and checks the
+// result against the allocating one-shot path.
+func TestTraversalReuseAcrossRounds(t *testing.T) {
+	g := graph.GNM(500, 3000, 9)
+	want := bfs.Sequential(g, 0)
+	for _, opts := range []Options{
+		{Workers: 4},
+		{Workers: 4, Threshold: 1}, // force dense rounds early
+	} {
+		got := BFS(g, 0, opts)
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("opts %+v: dist[%d]=%d want %d", opts, v, got[v], want[v])
+			}
+		}
 	}
 }
 

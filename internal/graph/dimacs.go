@@ -13,6 +13,16 @@ import (
 // "c" comment lines). Having it here lets the CLI consume published
 // instances directly.
 
+// maxEdgeCapHint bounds how many edge slots the header's declared count may
+// pre-allocate (16 Mi edges = 128 MiB); larger files grow normally.
+const maxEdgeCapHint = 1 << 24
+
+// maxDimacsVertices bounds the header's declared vertex count. Unlike the
+// edge count, n cannot be clamped lazily — the CSR build allocates O(n)
+// arrays — so an absurd n in a tiny hostile file must be rejected outright.
+// 2^28 vertices (~2 GiB of offsets) is far beyond any real DIMACS text file.
+const maxDimacsVertices = 1 << 28
+
 // ReadDIMACS parses a DIMACS .col/.edge graph.
 func ReadDIMACS(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
@@ -38,15 +48,26 @@ func ReadDIMACS(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("graph: line %d: malformed problem line", lineNo)
 			}
 			nv, err := strconv.Atoi(fields[2])
-			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad n: %v", lineNo, err)
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad n %q", lineNo, fields[2])
+			}
+			if nv > maxDimacsVertices {
+				return nil, fmt.Errorf("graph: line %d: n %d exceeds limit %d", lineNo, nv, maxDimacsVertices)
 			}
 			me, err := strconv.ParseInt(fields[3], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad m: %v", lineNo, err)
+			if err != nil || me < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad m %q", lineNo, fields[3])
 			}
 			n, m = nv, me
-			edges = make([]Edge, 0, m)
+			// The header's edge count is a hint, not a contract: a corrupt or
+			// hostile header (e.g. "p edge 10 999999999999") must not OOM the
+			// reader before a single edge line is parsed. Clamp the initial
+			// capacity and let the slice grow to whatever the file holds.
+			capHint := m
+			if capHint > maxEdgeCapHint {
+				capHint = maxEdgeCapHint
+			}
+			edges = make([]Edge, 0, capHint)
 			header = true
 		case "e", "a":
 			if !header {

@@ -149,10 +149,27 @@ func TestReadDIMACSErrors(t *testing.T) {
 		"",                       // no header
 		"p edge 2 1\np edge 2 1", // duplicate header
 		"p edge 2 1\ne 1",        // short edge
+		"p edge -1 1",            // negative n
+		"p edge 2 -5",            // negative m
+		"p edge 2000000000 1",    // n beyond the allocation limit
 	}
 	for i, in := range cases {
 		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
+	}
+}
+
+// TestReadDIMACSHostileHeader feeds a header declaring an absurd edge count
+// followed by a tiny body: the reader must clamp its pre-allocation (rather
+// than OOM on make([]Edge, 0, m)) and still parse the file correctly.
+func TestReadDIMACSHostileHeader(t *testing.T) {
+	in := "p edge 10 999999999999\ne 1 2\ne 2 3\n"
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 || g.NumEdges() != 2 {
+		t.Errorf("n=%d m=%d, want 10/2", g.NumVertices(), g.NumEdges())
 	}
 }

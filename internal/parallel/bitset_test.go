@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Len() != 130 || b.Count(1) != 0 {
+		t.Fatal("fresh bitset not empty")
+	}
+	for _, i := range []uint32{0, 63, 64, 129} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Count(1) != 4 {
+		t.Fatalf("Count=%d want 4", b.Count(1))
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count(1) != 3 {
+		t.Fatal("Clear failed")
+	}
+	members := b.Members(nil)
+	want := []uint32{0, 63, 129}
+	if len(members) != len(want) {
+		t.Fatalf("Members=%v", members)
+	}
+	for i := range want {
+		if members[i] != want[i] {
+			t.Fatalf("Members=%v want %v", members, want)
+		}
+	}
+	b.Reset(1)
+	if b.Count(1) != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestBitsetTrySetAtomic(t *testing.T) {
+	b := NewBitset(64)
+	if !b.TrySetAtomic(7) {
+		t.Fatal("first TrySetAtomic must win")
+	}
+	if b.TrySetAtomic(7) {
+		t.Fatal("second TrySetAtomic must lose")
+	}
+	if !b.GetAtomic(7) {
+		t.Fatal("bit not observable")
+	}
+}
+
+// TestBitsetTrySetAtomicRace hammers one word from many goroutines: each
+// bit must be won exactly once.
+func TestBitsetTrySetAtomicRace(t *testing.T) {
+	const n = 64
+	const goroutines = 8
+	b := NewBitset(n)
+	wins := make([][]uint32, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for k := 0; k < goroutines; k++ {
+		go func(k int) {
+			defer wg.Done()
+			for i := uint32(0); i < n; i++ {
+				if b.TrySetAtomic(i) {
+					wins[k] = append(wins[k], i)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += len(w)
+	}
+	if total != n {
+		t.Fatalf("bits won %d times, want %d", total, n)
+	}
+	if b.Count(2) != n {
+		t.Fatalf("Count=%d want %d", b.Count(2), n)
+	}
+}
+
+func TestBitsetForEachWord(t *testing.T) {
+	b := NewBitset(256)
+	b.Set(5)
+	b.Set(130)
+	seen := make(map[int]uint64)
+	var mu sync.Mutex
+	b.ForEachWord(2, func(wi int, w uint64) {
+		mu.Lock()
+		seen[wi] = w
+		mu.Unlock()
+	})
+	if len(seen) != 2 || seen[0] != 1<<5 || seen[2] != 1<<2 {
+		t.Fatalf("ForEachWord saw %v", seen)
+	}
+}
