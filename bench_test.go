@@ -8,6 +8,7 @@ package mpx_bench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"mpx/internal/apps/blocks"
@@ -19,11 +20,17 @@ import (
 	"mpx/internal/apps/spanner"
 	"mpx/internal/core"
 	"mpx/internal/expt"
+	"mpx/internal/frontier"
 	"mpx/internal/graph"
+	"mpx/internal/parallel"
 )
 
 // benchGrid is shared by several benchmarks; built once.
 var benchGrid = graph.Grid2D(250, 250)
+
+// benchPool is the single persistent worker pool every benchmark run
+// executes on — constructed once per process, exactly as cmd/mpx does.
+var benchPool = parallel.NewPool(0)
 
 // BenchmarkE1Figure1 decomposes the Figure 1 grid (scaled to 250x250) at
 // each of the paper's six β values.
@@ -116,17 +123,30 @@ func BenchmarkE5DepthWork(b *testing.B) {
 	}
 }
 
-// BenchmarkE6Workers sweeps the worker count (single-core hosts measure
-// synchronization overhead; multi-core hosts measure speedup).
+// BenchmarkE6Workers sweeps the worker count over the high-diameter grid
+// and the low-diameter gnm family (single-core hosts measure
+// synchronization overhead; multi-core hosts measure speedup). All runs
+// share benchPool, so the sweep isolates the logical worker count from
+// pool construction.
 func BenchmarkE6Workers(b *testing.B) {
-	for _, w := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := core.Partition(benchGrid, 0.1, core.Options{Seed: 1, Workers: w}); err != nil {
-					b.Fatal(err)
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", benchGrid},
+		{"gnm", graph.GNM(40000, 160000, 1)},
+	}
+	for _, fam := range families {
+		for _, w := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/workers=%d", fam.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Partition(fam.g, 0.1, core.Options{Seed: 1, Workers: w, Pool: benchPool}); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -286,6 +306,83 @@ func BenchmarkE19Direction(b *testing.B) {
 	}
 }
 
+// maxSteadyAllocsPerRound is the allocation-regression gate for E20: a
+// steady-state round's only garbage is the handful of loop closures
+// submitted to the pool (every O(n) buffer is owned by the Traversal /
+// pool scratch), so the per-round allocation count must stay a small
+// constant. An accidental per-round O(n) buffer shows up here as tens of
+// kilobytes per round and fails the bytes gate.
+const (
+	maxSteadyAllocsPerRound = 24
+	maxSteadyBytesPerRound  = 8192
+)
+
+// BenchmarkE20RoundOverhead measures the fixed overhead of one
+// steady-state synchronous round: a frontier BFS over the gnm family with
+// a persistent Traversal and the shared pool, reporting allocations and
+// bytes per round and failing the run if either regresses past the gate.
+func BenchmarkE20RoundOverhead(b *testing.B) {
+	g := graph.GNM(60000, 240000, 1)
+	n := g.NumVertices()
+	tr := frontier.NewTraversal(g)
+	opts := frontier.Options{Workers: 8, Pool: benchPool}
+	visited := parallel.NewBitset(n)
+	dist := make([]int32, n)
+	var depth int32
+	cond := func(u uint32) bool { return !visited.GetAtomic(u) }
+	update := func(src, dst uint32) bool {
+		if visited.TrySetAtomic(dst) {
+			dist[dst] = depth
+			return true
+		}
+		return false
+	}
+	runBFS := func() int {
+		parallel.Fill(0, dist, -1)
+		visited.Reset(0)
+		depth = 0
+		dist[0] = 0
+		visited.Set(0)
+		// NewSubset takes ownership of the id slice (Recycle reuses it as
+		// compaction scratch), so each run hands over a fresh one.
+		front := frontier.NewSubset(n, []uint32{0})
+		rounds := 0
+		for !front.IsEmpty() {
+			depth++
+			next := tr.EdgeMap(front, cond, update, opts)
+			tr.Recycle(front)
+			front = next
+			rounds++
+		}
+		tr.Recycle(front)
+		return rounds
+	}
+	runBFS() // size every piece of scratch before measuring
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	b.ReportAllocs()
+	totalRounds := 0
+	for i := 0; i < b.N; i++ {
+		totalRounds += runBFS()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	allocsPerRound := float64(after.Mallocs-before.Mallocs) / float64(totalRounds)
+	bytesPerRound := float64(after.TotalAlloc-before.TotalAlloc) / float64(totalRounds)
+	b.ReportMetric(allocsPerRound, "allocs/round")
+	b.ReportMetric(bytesPerRound, "B/round")
+	b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds")
+	if allocsPerRound > maxSteadyAllocsPerRound {
+		b.Fatalf("steady-state rounds allocate %.1f objects/round (gate %d): per-round scratch is leaking",
+			allocsPerRound, maxSteadyAllocsPerRound)
+	}
+	if bytesPerRound > maxSteadyBytesPerRound {
+		b.Fatalf("steady-state rounds allocate %.0f B/round (gate %d): an O(n) per-round buffer is back",
+			bytesPerRound, maxSteadyBytesPerRound)
+	}
+}
+
 // BenchmarkExperimentHarness runs the full experiment suite end to end at
 // test scale (integration smoke at benchmark cadence).
 func BenchmarkExperimentHarness(b *testing.B) {
@@ -384,7 +481,7 @@ func BenchmarkE18Connectivity(b *testing.B) {
 	b.Run("ldd-contraction", func(b *testing.B) {
 		var rounds int
 		for i := 0; i < b.N; i++ {
-			r, err := connectivity.Components(g, 0.4, uint64(i), 0)
+			r, err := connectivity.ComponentsPool(benchPool, g, 0.4, uint64(i), 0)
 			if err != nil {
 				b.Fatal(err)
 			}

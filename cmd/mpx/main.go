@@ -16,6 +16,7 @@ import (
 
 	"mpx/internal/core"
 	"mpx/internal/graph"
+	"mpx/internal/parallel"
 	"mpx/internal/render"
 	"mpx/internal/stats"
 )
@@ -78,7 +79,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpx:", err)
 		os.Exit(1)
 	}
-	opts := core.Options{Seed: *seed, Workers: *workers, TieBreak: tieBreak, Direction: dir}
+	// One persistent worker pool serves the whole run; every parallel round
+	// of every algorithm below executes on it.
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	opts := core.Options{Seed: *seed, Workers: *workers, TieBreak: tieBreak, Direction: dir, Pool: pool}
 
 	if *algo == "weighted" || *algo == "weighted-par" {
 		wg := graph.RandomWeights(g, 1, *wmax, *seed)

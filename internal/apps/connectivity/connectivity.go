@@ -15,6 +15,7 @@ import (
 
 	"mpx/internal/core"
 	"mpx/internal/graph"
+	"mpx/internal/parallel"
 	"mpx/internal/xrand"
 )
 
@@ -33,8 +34,16 @@ type Result struct {
 }
 
 // Components computes connected components via LDD contraction with the
-// given β per round (beta in (0,1); 0.4 is the conventional constant).
+// given β per round (beta in (0,1); 0.4 is the conventional constant),
+// running on the shared parallel.Default() pool.
 func Components(g *graph.Graph, beta float64, seed uint64, workers int) (*Result, error) {
+	return ComponentsPool(nil, g, beta, seed, workers)
+}
+
+// ComponentsPool is Components on an explicit persistent worker pool (nil
+// means parallel.Default()): the Partition rounds and the relabeling loops
+// all execute on the same pool instance.
+func ComponentsPool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int) (*Result, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
@@ -43,7 +52,7 @@ func Components(g *graph.Graph, beta float64, seed uint64, workers int) (*Result
 	if n == 0 {
 		return res, nil
 	}
-	// map[v] = current super-vertex of original vertex v.
+	// cur[v] = current super-vertex of original vertex v.
 	cur := make([]uint32, n)
 	for v := range cur {
 		cur[v] = uint32(v)
@@ -57,6 +66,7 @@ func Components(g *graph.Graph, beta float64, seed uint64, workers int) (*Result
 		d, err := core.Partition(work, beta, core.Options{
 			Seed:    xrand.Mix(seed, uint64(round)),
 			Workers: workers,
+			Pool:    pool,
 		})
 		if err != nil {
 			return nil, err
@@ -65,20 +75,27 @@ func Components(g *graph.Graph, beta float64, seed uint64, workers int) (*Result
 		if err != nil {
 			return nil, err
 		}
-		for v := range cur {
-			cur[v] = quot[cur[v]]
-		}
+		pool.ForRange(workers, n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				cur[v] = quot[cur[v]]
+			}
+		})
 		work = quotient
 		res.Rounds++
 	}
 	// Canonicalize: label = smallest original vertex per final super-vertex.
-	smallest := make(map[uint32]uint32)
+	// Every final super-vertex is one component, so the relabel table is a
+	// plain slice keyed by quotient id — no map churn on the hot exit path.
+	nq := work.NumVertices()
+	smallest := make([]uint32, nq)
 	for v := n - 1; v >= 0; v-- {
 		smallest[cur[v]] = uint32(v)
 	}
-	for v := 0; v < n; v++ {
-		res.Label[v] = smallest[cur[v]]
-	}
-	res.Components = len(smallest)
+	pool.ForRange(workers, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			res.Label[v] = smallest[cur[v]]
+		}
+	})
+	res.Components = nq
 	return res, nil
 }

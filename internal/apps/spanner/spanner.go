@@ -48,9 +48,12 @@ func Build(g *graph.Graph, beta float64, opts core.Options) (*Spanner, error) {
 		}
 	}
 	// One representative edge per unordered pair of adjacent clusters; the
-	// lexicographically smallest such edge, for determinism.
-	type pairKey struct{ a, b uint32 }
-	bridges := make(map[pairKey]graph.Edge)
+	// lexicographically smallest such edge, for determinism. Cluster pairs
+	// and edges are packed into uint64 keys so the per-pair minimum is a
+	// plain integer min (uint64 order == lexicographic (U,V) order) and the
+	// emission order is a closure-free sort of the packed pair keys — the
+	// output never depends on Go map iteration order.
+	bridges := make(map[uint64]uint64)
 	for v := 0; v < g.NumVertices(); v++ {
 		cv := d.Center[v]
 		for _, u := range g.Neighbors(uint32(v)) {
@@ -58,29 +61,27 @@ func Build(g *graph.Graph, beta float64, opts core.Options) (*Spanner, error) {
 			if cu == cv || uint32(v) > u {
 				continue
 			}
-			k := pairKey{cv, cu}
-			if k.a > k.b {
-				k.a, k.b = k.b, k.a
+			a, b := cv, cu
+			if a > b {
+				a, b = b, a
 			}
-			e := graph.Edge{U: uint32(v), V: u}
-			if old, ok := bridges[k]; !ok || less(e, old) {
-				bridges[k] = e
+			pair := uint64(a)<<32 | uint64(b)
+			packed := uint64(v)<<32 | uint64(u)
+			if old, ok := bridges[pair]; !ok || packed < old {
+				bridges[pair] = packed
 			}
 		}
 	}
-	keys := make([]pairKey, 0, len(bridges))
-	for k := range bridges {
-		keys = append(keys, k)
+	pairs := make([]uint64, 0, len(bridges))
+	for pair := range bridges {
+		pairs = append(pairs, pair)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].a != keys[j].a {
-			return keys[i].a < keys[j].a
-		}
-		return keys[i].b < keys[j].b
-	})
-	for _, k := range keys {
-		edges = append(edges, bridges[k])
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+	for _, pair := range pairs {
+		packed := bridges[pair]
+		edges = append(edges, graph.Edge{U: uint32(packed >> 32), V: uint32(packed)})
 	}
+	bridgeEdges := int64(len(bridges))
 	h, err := graph.FromEdgesDedup(g.NumVertices(), edges)
 	if err != nil {
 		return nil, err
@@ -90,15 +91,8 @@ func Build(g *graph.Graph, beta float64, opts core.Options) (*Spanner, error) {
 		H:             h,
 		Decomposition: d,
 		TreeEdges:     treeEdges,
-		BridgeEdges:   int64(len(bridges)),
+		BridgeEdges:   bridgeEdges,
 	}, nil
-}
-
-func less(a, b graph.Edge) bool {
-	if a.U != b.U {
-		return a.U < b.U
-	}
-	return a.V < b.V
 }
 
 // StretchStats summarizes measured stretch over sampled original edges.

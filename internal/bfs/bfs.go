@@ -8,7 +8,6 @@ package bfs
 
 import (
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"mpx/internal/graph"
@@ -62,13 +61,22 @@ func Parallel(g *graph.Graph, source uint32, workers int) *Result {
 // distance 0). Parents are the claiming neighbor; for equal-distance claims
 // the parent is scheduling-dependent but the distance is not.
 func ParallelMulti(g *graph.Graph, sources []uint32, workers int) *Result {
+	return ParallelMultiPool(nil, g, sources, workers)
+}
+
+// ParallelMultiPool is ParallelMulti executing its rounds on the given
+// persistent worker pool (nil means parallel.Default()). Per-round scratch
+// — the per-worker claim buffers and the double-buffered frontier — is
+// allocated once and reused across every round, so a steady-state round
+// performs no O(n) allocation.
+func ParallelMultiPool(pool *parallel.Pool, g *graph.Graph, sources []uint32, workers int) *Result {
 	n := g.NumVertices()
 	res := &Result{
 		Dist:   make([]int32, n),
 		Parent: make([]uint32, n),
 	}
 	state := make([]int32, n) // 0 = unvisited, 1 = claimed; CAS target
-	parallel.ForRange(workers, n, func(lo, hi int) {
+	pool.ForRange(workers, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			res.Dist[i] = Unreached
 			res.Parent[i] = uint32(i)
@@ -81,11 +89,13 @@ func ParallelMulti(g *graph.Graph, sources []uint32, workers int) *Result {
 			frontier = append(frontier, s)
 		}
 	}
+	var sc expandScratch
 	var relaxed int64
 	depth := int32(0)
 	for len(frontier) > 0 {
 		depth++
-		next := expandTopDown(g, frontier, state, res.Dist, res.Parent, depth, workers, &relaxed)
+		next := expandTopDown(g, frontier, state, res.Dist, res.Parent, depth, workers, &relaxed, &sc, pool)
+		sc.next = frontier[:0] // old frontier becomes the next output buffer
 		frontier = next
 		res.Rounds++
 	}
@@ -93,48 +103,49 @@ func ParallelMulti(g *graph.Graph, sources []uint32, workers int) *Result {
 	return res
 }
 
+// expandScratch is the reusable round state of the level-synchronous
+// loops: per-worker claim buffers and the output frontier double buffer.
+type expandScratch struct {
+	buffers [][]uint32
+	next    []uint32
+}
+
 // expandTopDown claims all unvisited neighbors of the frontier at distance
-// depth, returning the new frontier. Per-worker buffers are concatenated in
-// worker order.
+// depth, returning the new frontier. Per-worker buffers are compacted with
+// an offset scan and a parallel copy into the scratch's reused output
+// buffer (in worker order, as before).
 func expandTopDown(g *graph.Graph, frontier []uint32, state []int32,
-	dist []int32, parent []uint32, depth int32, workers int, relaxed *int64) []uint32 {
+	dist []int32, parent []uint32, depth int32, workers int, relaxed *int64,
+	sc *expandScratch, pool *parallel.Pool) []uint32 {
 
 	w := parallel.Workers(workers, len(frontier))
-	buffers := make([][]uint32, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * len(frontier) / w
-		hi := (k + 1) * len(frontier) / w
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			var buf []uint32
-			var local int64
-			for i := lo; i < hi; i++ {
-				v := frontier[i]
-				for _, u := range g.Neighbors(v) {
-					local++
-					if atomic.LoadInt32(&state[u]) == 0 &&
-						atomic.CompareAndSwapInt32(&state[u], 0, 1) {
-						dist[u] = depth
-						parent[u] = v
-						buf = append(buf, u)
-					}
+	if cap(sc.buffers) < w {
+		sc.buffers = make([][]uint32, w)
+	}
+	buffers := sc.buffers[:w]
+	nf := len(frontier)
+	pool.Run(w, func(k int) {
+		lo := k * nf / w
+		hi := (k + 1) * nf / w
+		buf := buffers[k][:0]
+		var local int64
+		for i := lo; i < hi; i++ {
+			v := frontier[i]
+			for _, u := range g.Neighbors(v) {
+				local++
+				if atomic.LoadInt32(&state[u]) == 0 &&
+					atomic.CompareAndSwapInt32(&state[u], 0, 1) {
+					dist[u] = depth
+					parent[u] = v
+					buf = append(buf, u)
 				}
 			}
-			buffers[k] = buf
-			atomic.AddInt64(relaxed, local)
-		}(k, lo, hi)
-	}
-	wg.Wait()
-	var total int
-	for _, b := range buffers {
-		total += len(b)
-	}
-	next := make([]uint32, 0, total)
-	for _, b := range buffers {
-		next = append(next, b...)
-	}
+		}
+		buffers[k] = buf
+		atomic.AddInt64(relaxed, local)
+	})
+	next := pool.Concat(workers, sc.next[:0], buffers)
+	sc.next = nil
 	return next
 }
 
@@ -148,6 +159,13 @@ func expandTopDown(g *graph.Graph, frontier []uint32, state []int32,
 // package's dense subsets) and reused across rounds, so a bottom-up round
 // costs O(n/64) words to reset rather than O(n) bools.
 func DirectionOptimizing(g *graph.Graph, source uint32, workers int) *Result {
+	return DirectionOptimizingPool(nil, g, source, workers)
+}
+
+// DirectionOptimizingPool is DirectionOptimizing executing its rounds on
+// the given persistent worker pool (nil means parallel.Default()), with
+// the frontier buffers and bitmaps reused across rounds.
+func DirectionOptimizingPool(pool *parallel.Pool, g *graph.Graph, source uint32, workers int) *Result {
 	const alpha = 15
 	const betaDown = 24
 	n := g.NumVertices()
@@ -165,6 +183,7 @@ func DirectionOptimizing(g *graph.Graph, source uint32, workers int) *Result {
 	res.Dist[source] = 0
 	state[source] = 1
 	frontier := []uint32{source}
+	var sc expandScratch
 	remainingArcs := g.NumArcs()
 	depth := int32(0)
 	var relaxed int64
@@ -172,10 +191,10 @@ func DirectionOptimizing(g *graph.Graph, source uint32, workers int) *Result {
 	for len(frontier) > 0 {
 		depth++
 		res.Rounds++
-		var frontierArcs int64
-		for _, v := range frontier {
-			frontierArcs += int64(g.Degree(v))
-		}
+		fr := frontier
+		frontierArcs := pool.ReduceInt64(workers, len(fr), func(i int) int64 {
+			return int64(g.Degree(fr[i]))
+		})
 		remainingArcs -= frontierArcs
 		if bottomUp {
 			// Return to top-down once the frontier is small again.
@@ -189,12 +208,12 @@ func DirectionOptimizing(g *graph.Graph, source uint32, workers int) *Result {
 			// member scan, so the sweep runs once with a plain parallel
 			// loop; each vertex sets only its own bit (atomically, since
 			// 64 vertices share a word).
-			inFrontier.Reset(workers)
+			parallel.FillPool(pool, workers, inFrontier.Words(), 0)
 			for _, v := range frontier {
 				inFrontier.Set(v)
 			}
-			claimed.Reset(workers)
-			parallel.ForRange(workers, n, func(lo, hi int) {
+			parallel.FillPool(pool, workers, claimed.Words(), 0)
+			pool.ForRange(workers, n, func(lo, hi int) {
 				var local int64
 				for i := lo; i < hi; i++ {
 					if state[i] != 0 {
@@ -212,13 +231,18 @@ func DirectionOptimizing(g *graph.Graph, source uint32, workers int) *Result {
 				}
 				atomic.AddInt64(&relaxed, local)
 			})
-			next := claimed.Members(frontier[:0])
-			for _, v := range next {
-				state[v] = 1
-			}
+			next := claimed.MembersInto(pool, workers, frontier[:0])
+			nx := next
+			pool.ForRange(workers, len(nx), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					state[nx[i]] = 1
+				}
+			})
 			frontier = next
 		} else {
-			frontier = expandTopDown(g, frontier, state, res.Dist, res.Parent, depth, workers, &relaxed)
+			next := expandTopDown(g, frontier, state, res.Dist, res.Parent, depth, workers, &relaxed, &sc, pool)
+			sc.next = frontier[:0]
+			frontier = next
 		}
 	}
 	res.Relaxed = relaxed

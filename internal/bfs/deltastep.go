@@ -2,7 +2,6 @@ package bfs
 
 import (
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"mpx/internal/graph"
@@ -33,6 +32,14 @@ func DeltaStepping(g *graph.WeightedGraph, source uint32, delta float64, workers
 // the shifted-shortest-path primitive of the paper's Section 5 lifted to
 // weighted graphs: PartitionWeightedParallel passes init[u] = δ_max − δ_u.
 func DeltaSteppingMulti(g *graph.WeightedGraph, init []float64, delta float64, workers int) *WeightedResult {
+	return DeltaSteppingMultiPool(nil, g, init, delta, workers)
+}
+
+// DeltaSteppingMultiPool is DeltaSteppingMulti with the bucket-relaxation
+// rounds executing on the given persistent worker pool (nil means
+// parallel.Default()); the per-worker relaxation buffers are reused across
+// rounds.
+func DeltaSteppingMultiPool(pool *parallel.Pool, g *graph.WeightedGraph, init []float64, delta float64, workers int) *WeightedResult {
 	n := g.NumVertices()
 	res := &WeightedResult{
 		Dist:   make([]float64, n),
@@ -100,6 +107,13 @@ func DeltaSteppingMulti(g *graph.WeightedGraph, init []float64, delta float64, w
 	}
 
 	relaxed := int64(0)
+	var sc relaxScratch
+	push := func(v uint32, b int) {
+		for b >= len(buckets) {
+			buckets = append(buckets, nil)
+		}
+		buckets[b] = append(buckets[b], v)
+	}
 	cur := 0
 	for cur < len(buckets) {
 		if len(buckets[cur]) == 0 {
@@ -112,12 +126,7 @@ func DeltaSteppingMulti(g *graph.WeightedGraph, init []float64, delta float64, w
 		for len(frontier) > 0 {
 			res.Rounds++
 			next := relaxFrontier(g, frontier, distBits, parentW, delta, cur, workers, &relaxed,
-				func(v uint32, b int) {
-					for b >= len(buckets) {
-						buckets = append(buckets, nil)
-					}
-					buckets[b] = append(buckets[b], v)
-				}, inBucket, bucketOf)
+				push, inBucket, bucketOf, &sc, pool)
 			frontier = next
 		}
 		cur++
@@ -141,6 +150,21 @@ type WeightedResult struct {
 	Relaxed int64
 }
 
+// enq records a distance improvement: vertex v now falls in bucket b.
+type enq struct {
+	v uint32
+	b int
+}
+
+// relaxScratch is the reusable round state of the bucket relaxation:
+// per-worker improvement buffers and the double-buffered same-bucket
+// output frontier.
+type relaxScratch struct {
+	buffers [][]enq
+	same    [2][]uint32
+	flip    int
+}
+
 // relaxFrontier relaxes all edges out of the frontier, returning vertices
 // whose new distance stays in bucket `cur` (they must be re-relaxed this
 // bucket); vertices falling in later buckets are enqueued via push.
@@ -152,50 +176,48 @@ type WeightedResult struct {
 // parent matches the final distance.
 func relaxFrontier(g *graph.WeightedGraph, frontier []uint32, distBits, parentW []uint64,
 	delta float64, cur int, workers int, relaxed *int64,
-	push func(uint32, int), inBucket []int32, bucketOf func(float64) int) []uint32 {
+	push func(uint32, int), inBucket []int32, bucketOf func(float64) int,
+	sc *relaxScratch, pool *parallel.Pool) []uint32 {
 
 	w := parallel.Workers(workers, len(frontier))
-	type enq struct {
-		v uint32
-		b int
+	if cap(sc.buffers) < w {
+		sc.buffers = make([][]enq, w)
 	}
-	buffers := make([][]enq, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * len(frontier) / w
-		hi := (k + 1) * len(frontier) / w
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			var buf []enq
-			var local int64
-			for i := lo; i < hi; i++ {
-				v := frontier[i]
-				dv := math.Float64frombits(atomic.LoadUint64(&distBits[v]))
-				nbrs, ws := g.Neighbors(v)
-				for j, u := range nbrs {
-					local++
-					nd := dv + ws[j]
-					for {
-						oldBits := atomic.LoadUint64(&distBits[u])
-						if math.Float64frombits(oldBits) <= nd {
-							break
-						}
-						if atomic.CompareAndSwapUint64(&distBits[u], oldBits, math.Float64bits(nd)) {
-							atomic.StoreUint64(&parentW[u], uint64(v))
-							buf = append(buf, enq{u, bucketOf(nd)})
-							break
-						}
+	buffers := sc.buffers[:w]
+	nf := len(frontier)
+	pool.Run(w, func(k int) {
+		lo := k * nf / w
+		hi := (k + 1) * nf / w
+		buf := buffers[k][:0]
+		var local int64
+		for i := lo; i < hi; i++ {
+			v := frontier[i]
+			dv := math.Float64frombits(atomic.LoadUint64(&distBits[v]))
+			nbrs, ws := g.Neighbors(v)
+			for j, u := range nbrs {
+				local++
+				nd := dv + ws[j]
+				for {
+					oldBits := atomic.LoadUint64(&distBits[u])
+					if math.Float64frombits(oldBits) <= nd {
+						break
+					}
+					if atomic.CompareAndSwapUint64(&distBits[u], oldBits, math.Float64bits(nd)) {
+						atomic.StoreUint64(&parentW[u], uint64(v))
+						buf = append(buf, enq{u, bucketOf(nd)})
+						break
 					}
 				}
 			}
-			buffers[k] = buf
-			atomic.AddInt64(relaxed, local)
-		}(k, lo, hi)
-	}
-	wg.Wait()
+		}
+		buffers[k] = buf
+		atomic.AddInt64(relaxed, local)
+	})
 
-	var same []uint32
+	// The same-bucket output double-buffers against the frontier we just
+	// read (which may be the previous round's output).
+	same := sc.same[sc.flip][:0]
+	sc.flip ^= 1
 	for _, buf := range buffers {
 		for _, e := range buf {
 			if e.b <= cur {
@@ -207,7 +229,9 @@ func relaxFrontier(g *graph.WeightedGraph, frontier []uint32, distBits, parentW 
 			}
 		}
 	}
-	return dedup(same)
+	same = dedup(same)
+	sc.same[sc.flip^1] = same[:0]
+	return same
 }
 
 // dedup removes duplicate vertex ids (a vertex improved by several frontier

@@ -118,8 +118,14 @@ type Options struct {
 	// Seed fixes all randomness. Two runs with the same seed, graph and β
 	// produce identical decompositions at any worker count.
 	Seed uint64
-	// Workers caps goroutine parallelism; <= 0 means runtime.GOMAXPROCS(0).
+	// Workers caps logical parallelism (the deterministic block
+	// decomposition of every round); <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// Pool is the persistent worker pool every parallel round executes on;
+	// nil means the shared parallel.Default() pool. Construct one pool per
+	// process (cmd/mpx and the benchmark harness do) and pass it here so
+	// no round pays goroutine spawn costs.
+	Pool *parallel.Pool
 	// TieBreak selects the same-round claim ordering.
 	TieBreak TieBreak
 	// ShiftSource selects the shift distribution.

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"mpx/internal/graph"
@@ -29,6 +28,34 @@ const (
 	pullMinFrac = 8
 )
 
+// partitionScratch owns every piece of per-round state the BFS reuses, so
+// a steady-state round allocates nothing beyond the submitted closures:
+// per-worker claim/open buffers, their offset scans and arc counters, and
+// the double-buffered frontier and pull-cohort lists.
+type partitionScratch struct {
+	claimBufs [][]uint32
+	openBufs  [][]uint32
+	arcs      []int64
+	offs      []int
+	openOffs  []int
+	// frontSpare is the buffer the next round's newly-claimed list is
+	// compacted into; after each round the dead frontier's buffer takes its
+	// place (classic double buffering). cohortSpare plays the same role for
+	// the pull cohort.
+	frontSpare  []uint32
+	cohortSpare []uint32
+}
+
+func (sc *partitionScratch) ensure(w int) {
+	if cap(sc.claimBufs) < w {
+		sc.claimBufs = make([][]uint32, w)
+		sc.openBufs = make([][]uint32, w)
+		sc.arcs = make([]int64, w)
+		sc.offs = make([]int, w+1)
+		sc.openOffs = make([]int, w+1)
+	}
+}
+
 // Partition computes a (β, O(log n/β)) decomposition of g — the paper's
 // Algorithm 1/2. Every vertex u draws δ_u ~ Exp(β); v joins the cluster of
 // the center minimizing dist(u,v) − δ_u, with same-round ties broken by the
@@ -46,6 +73,13 @@ const (
 // across directions and deterministic for fixed (graph, β, seed) at any
 // worker count. Options.Direction selects push, pull, or automatic
 // per-round Beamer switching.
+//
+// Every round executes on the persistent worker pool (Options.Pool) and
+// reuses the partitionScratch buffers: frontier compaction is an offset
+// scan over per-worker buffer lengths plus a parallel copy, and the
+// frontier arc count for the Beamer switch is accumulated inside the claim
+// kernel, so steady-state rounds perform no O(n) allocation and no extra
+// frontier pass.
 //
 // Expected cost matches Theorem 1.2: O(m) work and O(log²n/β) depth — here
 // realized as O((log n/β) · rounds) with each round a constant number of
@@ -70,9 +104,10 @@ func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, erro
 	d.Shifts = plan.shifts
 	d.DeltaMax = plan.deltaMax
 
+	pool := opts.Pool
 	claim := make([]uint64, n)
 	level := make([]int32, n)
-	parallel.ForRange(opts.Workers, n, func(lo, hi int) {
+	pool.ForRange(opts.Workers, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			claim[i] = unclaimed
 			level[i] = -1
@@ -84,7 +119,7 @@ func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, erro
 		return uint64(plan.rank[v])<<32 | uint64(v)
 	}
 
-	offsets := g.Offsets()
+	sc := &partitionScratch{}
 	var frontier []uint32
 	var pullList []uint32  // unclaimed cohort, valid only across pull rounds
 	var frontierArcs int64 // outgoing arcs of the current frontier
@@ -128,25 +163,37 @@ func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, erro
 		}
 
 		var newly []uint32
+		var newArcs int64
 		if pulling {
 			// The pull cohort is the unclaimed vertex list, kept filtered
 			// across consecutive pull rounds so each round costs
 			// O(|unclaimed| + arcs(unclaimed)), not O(n). Push rounds claim
 			// vertices without maintaining it, so it is rebuilt on re-entry.
 			if pullList == nil {
-				pullList = parallel.Pack(opts.Workers, n, func(i int) bool {
+				pullList = pool.PackInto(opts.Workers, n, func(i int) bool {
 					return level[i] == -1
-				})
+				}, sc.cohortSpare)
+				sc.cohortSpare = nil
 			}
-			newly, pullList = runRoundPull(g, plan, claim, level, d.Center, d.Dist, t, opts, packed, &relaxed, pullList)
+			oldCohort := pullList
+			newly, pullList, newArcs = runRoundPull(g, plan, claim, level, d.Center, d.Dist, t, opts, packed, &relaxed, pullList, sc)
+			// The dead cohort buffer becomes the next round's compaction
+			// target for the open remainder.
+			sc.cohortSpare = oldCohort[:0]
 		} else {
-			pullList = nil
-			newly = runRound(g, frontier, bucket, claim, level, d.Center, d.Dist, opts, packed, &relaxed)
+			if pullList != nil {
+				// Leaving pull: the cohort buffer returns to the spare slot.
+				if sc.cohortSpare == nil {
+					sc.cohortSpare = pullList[:0]
+				}
+				pullList = nil
+			}
+			newly, newArcs = runRound(g, frontier, bucket, claim, level, d.Center, d.Dist, opts, packed, &relaxed, sc)
 		}
 
 		// Resolution: finalize every vertex claimed this round. Claim words
 		// are stable now (barrier above), so plain reads are safe.
-		parallel.ForRange(opts.Workers, len(newly), func(lo, hi int) {
+		pool.ForRange(opts.Workers, len(newly), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				w := newly[i]
 				proposer := uint32(claim[w])
@@ -163,14 +210,14 @@ func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, erro
 				}
 			}
 		})
-		// Track arc counts incrementally for the Beamer switch: the newly
-		// claimed vertices are the next frontier and leave the unexplored
-		// set.
-		frontierArcs = parallel.ReduceInt64(opts.Workers, len(newly), func(i int) int64 {
-			v := newly[i]
-			return offsets[v+1] - offsets[v]
-		})
-		remainingArcs -= frontierArcs
+		// The newly claimed vertices are the next frontier and leave the
+		// unexplored set; their arc count was accumulated inside the round
+		// kernel, so no extra frontier pass is needed.
+		frontierArcs = newArcs
+		remainingArcs -= newArcs
+		// Double-buffer swap: the dead frontier's storage becomes the next
+		// round's compaction target.
+		sc.frontSpare = frontier[:0]
 		frontier = newly
 		d.Rounds++
 		t++
@@ -184,67 +231,66 @@ func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, erro
 // frontier, resolving them with an atomic minimum per target vertex. It
 // returns the set of vertices claimed this round (each exactly once,
 // appended by the proposer that first transitioned the claim word away from
-// the sentinel).
+// the sentinel) together with their summed out-degree, compacted from the
+// per-worker buffers by an offset scan and a parallel copy into the
+// scratch's reused output buffer.
 func runRound(g *graph.Graph, frontier, bucket []uint32, claim []uint64,
 	level []int32, center []uint32, dist []int32, opts Options,
-	packed func(uint32) uint64, relaxed *int64) []uint32 {
+	packed func(uint32) uint64, relaxed *int64, sc *partitionScratch) (newly []uint32, newArcs int64) {
 
 	work := len(frontier) + len(bucket)
 	w := parallel.Workers(opts.Workers, work)
-	buffers := make([][]uint32, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
+	sc.ensure(w)
+	bufs := sc.claimBufs[:w]
+	arcs := sc.arcs[:w]
+	offsets := g.Offsets()
+	pool := opts.Pool
+	nf, nb := len(frontier), len(bucket)
+	pool.Run(w, func(k int) {
+		flo, fhi := k*nf/w, (k+1)*nf/w
+		blo, bhi := k*nb/w, (k+1)*nb/w
+		buf := bufs[k][:0]
+		var local, claimedArcs int64
+		// Self-proposals: unclaimed vertices whose start time falls in
+		// this round propose themselves as centers.
+		for i := blo; i < bhi; i++ {
+			u := bucket[i]
+			if level[u] == -1 {
+				if first := proposeMin(&claim[u], packed(u)); first {
+					buf = append(buf, u)
+					claimedArcs += offsets[u+1] - offsets[u]
+				}
+			}
+		}
+		// Expansion proposals: frontier vertices offer their cluster to
+		// unclaimed neighbors.
+		for i := flo; i < fhi; i++ {
+			v := frontier[i]
+			if opts.MaxRadius > 0 && dist[v] >= opts.MaxRadius {
+				continue // tree capped; stragglers self-start later
+			}
+			p := packed(center[v])
+			for _, u := range g.Neighbors(v) {
+				local++
+				if level[u] != -1 {
+					continue
+				}
+				if first := proposeMin(&claim[u], p&^0xffffffff|uint64(v)); first {
+					buf = append(buf, u)
+					claimedArcs += offsets[u+1] - offsets[u]
+				}
+			}
+		}
+		bufs[k] = buf
+		arcs[k] = claimedArcs
+		atomic.AddInt64(relaxed, local)
+	})
 	for k := 0; k < w; k++ {
-		flo := k * len(frontier) / w
-		fhi := (k + 1) * len(frontier) / w
-		blo := k * len(bucket) / w
-		bhi := (k + 1) * len(bucket) / w
-		go func(k, flo, fhi, blo, bhi int) {
-			defer wg.Done()
-			var buf []uint32
-			var local int64
-			// Self-proposals: unclaimed vertices whose start time falls in
-			// this round propose themselves as centers.
-			for i := blo; i < bhi; i++ {
-				u := bucket[i]
-				if level[u] == -1 {
-					if first := proposeMin(&claim[u], packed(u)); first {
-						buf = append(buf, u)
-					}
-				}
-			}
-			// Expansion proposals: frontier vertices offer their cluster to
-			// unclaimed neighbors.
-			for i := flo; i < fhi; i++ {
-				v := frontier[i]
-				if opts.MaxRadius > 0 && dist[v] >= opts.MaxRadius {
-					continue // tree capped; stragglers self-start later
-				}
-				p := packed(center[v])
-				for _, u := range g.Neighbors(v) {
-					local++
-					if level[u] != -1 {
-						continue
-					}
-					if first := proposeMin(&claim[u], p&^0xffffffff|uint64(v)); first {
-						buf = append(buf, u)
-					}
-				}
-			}
-			buffers[k] = buf
-			atomic.AddInt64(relaxed, local)
-		}(k, flo, fhi, blo, bhi)
+		newArcs += arcs[k]
 	}
-	wg.Wait()
-	var total int
-	for _, b := range buffers {
-		total += len(b)
-	}
-	out := make([]uint32, 0, total)
-	for _, b := range buffers {
-		out = append(out, b...)
-	}
-	return out
+	out := pool.Concat(opts.Workers, sc.frontSpare[:0], bufs)
+	sc.frontSpare = nil
+	return out, newArcs
 }
 
 // runRoundPull is the pull (bottom-up) round: every vertex of the
@@ -255,11 +301,14 @@ func runRound(g *graph.Graph, frontier, bucket []uint32, claim []uint64,
 // computes is over exactly the proposal set the push round would race
 // through an atomic minimum — the resulting claim words, and therefore the
 // decomposition, are bit-identical. The cohort splits into the claimed set
-// (returned as the next frontier) and the still-open remainder (the next
-// round's cohort); both preserve the cohort's vertex order.
+// (returned as the next frontier, with its summed out-degree) and the
+// still-open remainder (the next round's cohort); both preserve the
+// cohort's vertex order and are compacted scan-and-copy style into reused
+// buffers.
 func runRoundPull(g *graph.Graph, plan *shiftPlan, claim []uint64,
 	level []int32, center []uint32, dist []int32, t int32, opts Options,
-	packed func(uint32) uint64, relaxed *int64, cohort []uint32) (newly, rest []uint32) {
+	packed func(uint32) uint64, relaxed *int64, cohort []uint32,
+	sc *partitionScratch) (newly, rest []uint32, newArcs int64) {
 
 	// prev identifies frontier members by their claim round. It is -1 on
 	// the very first round (t == 0), where unclaimed vertices also carry
@@ -269,62 +318,76 @@ func runRoundPull(g *graph.Graph, plan *shiftPlan, claim []uint64,
 	prev := t - 1
 	scanNeighbors := prev >= 0
 	w := parallel.Workers(opts.Workers, len(cohort))
-	claimedBufs := make([][]uint32, w)
-	openBufs := make([][]uint32, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * len(cohort) / w
-		hi := (k + 1) * len(cohort) / w
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			var claimedBuf, openBuf []uint32
-			var local int64
-			for i := lo; i < hi; i++ {
-				u := cohort[i]
-				best := unclaimed
-				if plan.bucket[u] == t {
-					best = packed(u)
-				}
-				if scanNeighbors {
-					for _, v := range g.Neighbors(u) {
-						local++
-						if level[v] != prev {
-							continue // not a current-frontier member
-						}
-						if opts.MaxRadius > 0 && dist[v] >= opts.MaxRadius {
-							continue // tree capped; matches the push-side skip
-						}
-						if p := packed(center[v])&^0xffffffff | uint64(v); p < best {
-							best = p
-						}
+	sc.ensure(w)
+	claimedBufs := sc.claimBufs[:w]
+	openBufs := sc.openBufs[:w]
+	arcs := sc.arcs[:w]
+	offs := sc.offs[:w+1]
+	openOffs := sc.openOffs[:w+1]
+	offsets := g.Offsets()
+	pool := opts.Pool
+	nc := len(cohort)
+	pool.Run(w, func(k int) {
+		lo, hi := k*nc/w, (k+1)*nc/w
+		claimedBuf := claimedBufs[k][:0]
+		openBuf := openBufs[k][:0]
+		var local, claimedArcs int64
+		for i := lo; i < hi; i++ {
+			u := cohort[i]
+			best := unclaimed
+			if plan.bucket[u] == t {
+				best = packed(u)
+			}
+			if scanNeighbors {
+				for _, v := range g.Neighbors(u) {
+					local++
+					if level[v] != prev {
+						continue // not a current-frontier member
+					}
+					if opts.MaxRadius > 0 && dist[v] >= opts.MaxRadius {
+						continue // tree capped; matches the push-side skip
+					}
+					if p := packed(center[v])&^0xffffffff | uint64(v); p < best {
+						best = p
 					}
 				}
-				if best != unclaimed {
-					claim[u] = best
-					claimedBuf = append(claimedBuf, u)
-				} else {
-					openBuf = append(openBuf, u)
-				}
 			}
-			claimedBufs[k] = claimedBuf
-			openBufs[k] = openBuf
-			atomic.AddInt64(relaxed, local)
-		}(k, lo, hi)
-	}
-	wg.Wait()
-	var claimedTotal, openTotal int
+			if best != unclaimed {
+				claim[u] = best
+				claimedBuf = append(claimedBuf, u)
+				claimedArcs += offsets[u+1] - offsets[u]
+			} else {
+				openBuf = append(openBuf, u)
+			}
+		}
+		claimedBufs[k] = claimedBuf
+		openBufs[k] = openBuf
+		arcs[k] = claimedArcs
+		atomic.AddInt64(relaxed, local)
+	})
+	offs[0], openOffs[0] = 0, 0
 	for k := 0; k < w; k++ {
-		claimedTotal += len(claimedBufs[k])
-		openTotal += len(openBufs[k])
+		offs[k+1] = offs[k] + len(claimedBufs[k])
+		openOffs[k+1] = openOffs[k] + len(openBufs[k])
+		newArcs += arcs[k]
 	}
-	newly = make([]uint32, 0, claimedTotal)
-	rest = make([]uint32, 0, openTotal)
-	for k := 0; k < w; k++ {
-		newly = append(newly, claimedBufs[k]...)
-		rest = append(rest, openBufs[k]...)
+	claimedTotal, openTotal := offs[w], openOffs[w]
+	newly = parallel.GrowUint32(sc.frontSpare, claimedTotal)
+	sc.frontSpare = nil
+	rest = parallel.GrowUint32(sc.cohortSpare, openTotal)
+	sc.cohortSpare = nil
+	if claimedTotal+openTotal < parallel.CompactCutoff || w == 1 {
+		for k := 0; k < w; k++ {
+			copy(newly[offs[k]:], claimedBufs[k])
+			copy(rest[openOffs[k]:], openBufs[k])
+		}
+	} else {
+		pool.Run(w, func(k int) {
+			copy(newly[offs[k]:], claimedBufs[k])
+			copy(rest[openOffs[k]:], openBufs[k])
+		})
 	}
-	return newly, rest
+	return newly, rest, newArcs
 }
 
 // proposeMin lowers *addr to v if smaller and reports whether this call was

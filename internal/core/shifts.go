@@ -98,50 +98,55 @@ func newShiftPlan(n int, beta float64, opts Options) *shiftPlan {
 	return p
 }
 
-// sortByFrac sorts vertex ids by (frac, id) ascending without allocating a
-// comparison closure per element; a simple bottom-up merge sort keeps the
-// sort deterministic and O(n log n).
+// sortByFrac sorts vertex ids by (frac, id) ascending with a stable LSD
+// radix sort on the IEEE bit patterns (order-preserving for the
+// non-negative fracs). Stability plus the ascending initial id order
+// realizes the lexicographic tie-break without any comparisons, and the
+// byte-at-a-time passes stream sequentially instead of the random frac[]
+// lookups a merge sort pays; passes whose byte is constant across all keys
+// (the high exponent bytes, for fracs in [0,1)) are skipped outright.
 func sortByFrac(order []uint32, frac []float64) {
 	n := len(order)
-	buf := make([]uint32, n)
-	for width := 1; width < n; width *= 2 {
-		for lo := 0; lo < n; lo += 2 * width {
-			mid := lo + width
-			hi := lo + 2*width
-			if mid > n {
-				mid = n
-			}
-			if hi > n {
-				hi = n
-			}
-			mergeByFrac(order[lo:mid], order[mid:hi], buf[lo:hi], frac)
-			copy(order[lo:hi], buf[lo:hi])
+	if n < 2 {
+		return
+	}
+	keysA := make([]uint64, n)
+	for i, v := range order {
+		keysA[i] = math.Float64bits(frac[v])
+	}
+	keysB := make([]uint64, n)
+	idsB := make([]uint32, n)
+	srcK, srcI := keysA, order
+	dstK, dstI := keysB, idsB
+	var count [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		for b := range count {
+			count[b] = 0
 		}
-	}
-}
-
-func mergeByFrac(a, b, out []uint32, frac []float64) {
-	i, j, k := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		av, bv := a[i], b[j]
-		if frac[av] < frac[bv] || (frac[av] == frac[bv] && av <= bv) {
-			out[k] = av
-			i++
-		} else {
-			out[k] = bv
-			j++
+		for _, k := range srcK {
+			count[(k>>shift)&0xff]++
 		}
-		k++
+		if count[(srcK[0]>>shift)&0xff] == n {
+			continue // every key shares this byte; the pass is a no-op
+		}
+		pos := 0
+		for b := 0; b < 256; b++ {
+			c := count[b]
+			count[b] = pos
+			pos += c
+		}
+		for i, k := range srcK {
+			b := (k >> shift) & 0xff
+			j := count[b]
+			count[b]++
+			dstK[j] = k
+			dstI[j] = srcI[i]
+		}
+		srcK, dstK = dstK, srcK
+		srcI, dstI = dstI, srcI
 	}
-	for i < len(a) {
-		out[k] = a[i]
-		i++
-		k++
-	}
-	for j < len(b) {
-		out[k] = b[j]
-		j++
-		k++
+	if &srcI[0] != &order[0] {
+		copy(order, srcI)
 	}
 }
 

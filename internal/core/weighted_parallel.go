@@ -5,7 +5,6 @@ import (
 
 	"mpx/internal/bfs"
 	"mpx/internal/graph"
-	"mpx/internal/parallel"
 )
 
 // PartitionWeightedParallel is the parallel counterpart of
@@ -35,14 +34,16 @@ func PartitionWeightedParallel(wg *graph.WeightedGraph, beta float64, delta floa
 	if n == 0 {
 		return d, nil
 	}
+	pool := opts.Pool
 	d.Shifts = GenerateShifts(n, beta, opts.Seed, opts.ShiftSource)
-	d.DeltaMax, _ = parallel.MaxFloat64(opts.Workers, n, func(i int) float64 { return d.Shifts[i] })
+	d.DeltaMax, _ = pool.MaxFloat64(opts.Workers, n, func(i int) float64 { return d.Shifts[i] })
 
 	init := make([]float64, n)
-	parallel.For(opts.Workers, n, func(v int) {
+	pool.For(opts.Workers, n, func(v int) {
 		init[v] = d.DeltaMax - d.Shifts[v]
 	})
-	res := bfs.DeltaSteppingMulti(wg, init, delta, opts.Workers)
+	// The bucket-relaxation rounds run on the same persistent pool.
+	res := bfs.DeltaSteppingMultiPool(pool, wg, init, delta, opts.Workers)
 	d.Rounds = res.Rounds
 
 	// Every vertex is reached (its own start value is finite). Recover
@@ -54,7 +55,7 @@ func PartitionWeightedParallel(wg *graph.WeightedGraph, beta float64, delta floa
 	}
 	// Tree distances from the center: shifted distance minus the center's
 	// start offset.
-	parallel.For(opts.Workers, n, func(v int) {
+	pool.For(opts.Workers, n, func(v int) {
 		c := d.Center[v]
 		d.Dist[v] = res.Dist[v] - init[c]
 		if d.Dist[v] < 0 {

@@ -6,11 +6,17 @@
 // (parallel.Bitset), the same bitset type the low-level hybrid BFS and the
 // decomposition engine build on — the traversal machinery is shared across
 // the three, and this package's EdgeMap is cross-tested against them.
+//
+// All rounds execute on a persistent parallel.Pool (Options.Pool, nil
+// meaning the shared default), and a Traversal held across rounds owns
+// every piece of per-round scratch — output buffers, claim bitsets,
+// recycled Subset shells — so a steady-state round performs no O(n)
+// allocation: frontier compaction is an offset scan plus a parallel copy
+// into a pre-sized reused buffer.
 package frontier
 
 import (
 	"math/bits"
-	"sync"
 	"sync/atomic"
 
 	"mpx/internal/graph"
@@ -78,6 +84,10 @@ func (s *Subset) Vertices() []uint32 {
 // caching it on first use. Subsets built by EdgeMap carry the count from
 // construction, so the hot path never rescans a frontier.
 func (s *Subset) ArcCount(g *graph.Graph, workers int) int64 {
+	return s.arcCount(g, nil, workers)
+}
+
+func (s *Subset) arcCount(g *graph.Graph, pool *parallel.Pool, workers int) int64 {
 	if s.arcsOK {
 		return s.arcs
 	}
@@ -85,7 +95,7 @@ func (s *Subset) ArcCount(g *graph.Graph, workers int) int64 {
 	if s.dense != nil {
 		offsets := g.Offsets()
 		words := s.dense.Words()
-		arcs = parallel.ReduceInt64(workers, len(words), func(wi int) int64 {
+		arcs = pool.ReduceInt64(workers, len(words), func(wi int) int64 {
 			w := words[wi]
 			base := uint32(wi) << 6
 			var local int64
@@ -96,7 +106,7 @@ func (s *Subset) ArcCount(g *graph.Graph, workers int) int64 {
 			return local
 		})
 	} else {
-		arcs = parallel.ReduceInt64(workers, len(s.sparse), func(i int) int64 {
+		arcs = pool.ReduceInt64(workers, len(s.sparse), func(i int) int64 {
 			return int64(g.Degree(s.sparse[i]))
 		})
 	}
@@ -107,14 +117,14 @@ func (s *Subset) ArcCount(g *graph.Graph, workers int) int64 {
 
 // toBitset returns the bit-packed view, building it into scratch (reset
 // first) if the subset is sparse. scratch may be nil.
-func (s *Subset) toBitset(scratch *parallel.Bitset, workers int) *parallel.Bitset {
+func (s *Subset) toBitset(scratch *parallel.Bitset, pool *parallel.Pool, workers int) *parallel.Bitset {
 	if s.dense != nil {
 		return s.dense
 	}
 	if scratch == nil || scratch.Len() != s.n {
 		scratch = parallel.NewBitset(s.n)
 	} else {
-		scratch.Reset(workers)
+		parallel.FillPool(pool, workers, scratch.Words(), 0)
 	}
 	for _, v := range s.sparse {
 		scratch.Set(v)
@@ -124,8 +134,13 @@ func (s *Subset) toBitset(scratch *parallel.Bitset, workers int) *parallel.Bitse
 
 // Options tune EdgeMap.
 type Options struct {
-	// Workers caps parallelism; <= 0 means GOMAXPROCS.
+	// Workers caps logical parallelism (the deterministic block
+	// decomposition); <= 0 means GOMAXPROCS.
 	Workers int
+	// Pool is the persistent worker pool rounds execute on; nil means the
+	// shared parallel.Default() pool. Construct one pool per run and pass
+	// it everywhere — workers are reused across every round of every loop.
+	Pool *parallel.Pool
 	// Threshold is the Beamer direction-switch ratio; frontier out-degree
 	// above arcs/Threshold triggers the dense sweep. 0 means 20.
 	Threshold int64
@@ -135,15 +150,22 @@ type Options struct {
 
 // Traversal carries the reusable scratch state for a frontier loop over one
 // graph: the claim bitset that deduplicates sparse admissions, a spare dense
-// bitmap recycled between dense rounds, and the per-worker output buffers.
+// bitmap and a spare sparse buffer recycled between rounds, recycled Subset
+// shells, the per-worker output buffers, and their offset/arc-count arrays.
 // Reusing a Traversal across EdgeMap rounds removes the per-round O(n)
-// allocations the one-shot entry point pays.
+// allocations the one-shot entry point pays: a steady-state round allocates
+// nothing beyond the submitted closures.
 type Traversal struct {
-	g       *graph.Graph
-	claimed *parallel.Bitset // dedup for sparse rounds; cleared per-member
-	front   *parallel.Bitset // sparse->dense conversion scratch
-	spare   *parallel.Bitset // next dense output, recycled via Recycle
-	buffers [][]uint32       // per-worker sparse output buffers
+	g           *graph.Graph
+	claimed     *parallel.Bitset // dedup for sparse rounds; cleared per-member
+	front       *parallel.Bitset // sparse->dense conversion scratch
+	spare       *parallel.Bitset // next dense output, recycled via Recycle
+	spareSparse []uint32         // next sparse output buffer, recycled via Recycle
+	buffers     [][]uint32       // per-worker sparse output buffers
+	arcCounts   []int64          // per-worker admitted-arc counters
+	offs        []int            // per-worker output offsets (scan of buffer lengths)
+	memberBuf   []uint32         // dense-frontier member materialization scratch
+	freeSubs    []*Subset        // recycled Subset shells
 }
 
 // NewTraversal allocates scratch for frontier loops over g.
@@ -151,13 +173,46 @@ func NewTraversal(g *graph.Graph) *Traversal {
 	return &Traversal{g: g, claimed: parallel.NewBitset(g.NumVertices())}
 }
 
-// Recycle hands a dead subset's dense bitmap back for reuse by the next
-// dense round. Call it on the previous frontier once EdgeMap has produced
-// the next one; the subset must not be used afterwards.
+// Recycle hands a dead subset's buffers back for reuse by later rounds:
+// its dense bitmap or sparse id buffer, and the Subset shell itself. Call
+// it on the previous frontier once EdgeMap has produced the next one; the
+// subset must not be used afterwards.
 func (t *Traversal) Recycle(s *Subset) {
-	if s != nil && s.dense != nil && t.spare == nil && s.dense != t.front {
-		t.spare = s.dense
+	if s == nil {
+		return
 	}
+	if s.dense != nil {
+		if t.spare == nil && s.dense != t.front {
+			t.spare = s.dense
+		}
+	} else if s.sparse != nil && t.spareSparse == nil {
+		t.spareSparse = s.sparse[:0]
+	}
+	*s = Subset{}
+	if len(t.freeSubs) < 4 {
+		t.freeSubs = append(t.freeSubs, s)
+	}
+}
+
+// takeSubset returns a recycled Subset shell, or a fresh one.
+func (t *Traversal) takeSubset() *Subset {
+	if n := len(t.freeSubs); n > 0 {
+		s := t.freeSubs[n-1]
+		t.freeSubs = t.freeSubs[:n-1]
+		return s
+	}
+	return &Subset{}
+}
+
+// membersView returns the member list without copying when possible: the
+// backing id slice for sparse subsets, a reused materialization buffer for
+// dense ones. The caller must not modify or retain the view.
+func (t *Traversal) membersView(s *Subset, pool *parallel.Pool, workers int) []uint32 {
+	if s.dense == nil {
+		return s.sparse
+	}
+	t.memberBuf = s.dense.MembersInto(pool, workers, t.memberBuf)
+	return t.memberBuf
 }
 
 // EdgeMap applies update(src, dst) over all edges out of the frontier whose
@@ -170,13 +225,15 @@ func (t *Traversal) EdgeMap(front *Subset, cond func(uint32) bool,
 
 	g := t.g
 	if front.IsEmpty() {
-		return NewSubset(g.NumVertices(), nil)
+		s := t.takeSubset()
+		s.n = g.NumVertices()
+		return s
 	}
 	threshold := opts.Threshold
 	if threshold <= 0 {
 		threshold = 20
 	}
-	frontierArcs := front.ArcCount(g, opts.Workers)
+	frontierArcs := front.arcCount(g, opts.Pool, opts.Workers)
 	useDense := !opts.ForceSparse &&
 		(opts.ForceDense || frontierArcs > g.NumArcs()/threshold)
 	if useDense {
@@ -193,65 +250,81 @@ func EdgeMap(g *graph.Graph, front *Subset, cond func(uint32) bool,
 }
 
 // edgeMapSparse walks out-edges of frontier members (top-down). Admissions
-// are deduplicated with an atomic claim on the shared bitset, which is
-// cleared per admitted member afterwards (O(out), not O(n)).
+// are deduplicated with an atomic claim on the shared bitset. The output
+// frontier is compacted with an offset scan over the per-worker buffer
+// lengths and a parallel copy into one pre-sized reused buffer; the claim
+// bits are cleared in the same parallel pass (O(out), not O(n)).
 func (t *Traversal) edgeMapSparse(front *Subset, cond func(uint32) bool,
 	update func(src, dst uint32) bool, opts Options) *Subset {
 
 	g := t.g
-	members := front.Vertices()
+	pool := opts.Pool
+	members := t.membersView(front, pool, opts.Workers)
 	w := parallel.Workers(opts.Workers, len(members))
 	if cap(t.buffers) < w {
 		t.buffers = make([][]uint32, w)
+		t.arcCounts = make([]int64, w)
+		t.offs = make([]int, w+1)
 	}
 	buffers := t.buffers[:w]
+	arcCounts := t.arcCounts[:w]
+	offs := t.offs[:w+1]
 	claimed := t.claimed
 	offsets := g.Offsets()
-	arcCounts := make([]int64, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * len(members) / w
-		hi := (k + 1) * len(members) / w
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			buf := buffers[k][:0]
-			var arcs int64
-			for i := lo; i < hi; i++ {
-				v := members[i]
-				for _, u := range g.Neighbors(v) {
-					if !cond(u) {
-						continue
-					}
-					if update(v, u) {
-						// Deduplicate output admission with an atomic claim.
-						if claimed.TrySetAtomic(u) {
-							buf = append(buf, u)
-							arcs += offsets[u+1] - offsets[u]
-						}
+	nm := len(members)
+	pool.Run(w, func(k int) {
+		lo := k * nm / w
+		hi := (k + 1) * nm / w
+		buf := buffers[k][:0]
+		var arcs int64
+		for i := lo; i < hi; i++ {
+			v := members[i]
+			for _, u := range g.Neighbors(v) {
+				if !cond(u) {
+					continue
+				}
+				if update(v, u) {
+					// Deduplicate output admission with an atomic claim.
+					if claimed.TrySetAtomic(u) {
+						buf = append(buf, u)
+						arcs += offsets[u+1] - offsets[u]
 					}
 				}
 			}
-			buffers[k] = buf
-			arcCounts[k] = arcs
-		}(k, lo, hi)
-	}
-	wg.Wait()
-	var total int
+		}
+		buffers[k] = buf
+		arcCounts[k] = arcs
+	})
 	var outArcs int64
+	offs[0] = 0
 	for k, b := range buffers {
-		total += len(b)
+		offs[k+1] = offs[k] + len(b)
 		outArcs += arcCounts[k]
 	}
-	out := make([]uint32, 0, total)
-	for _, b := range buffers {
-		out = append(out, b...)
-		// Reset the claim bits so the next round starts clean.
-		for _, u := range b {
-			claimed.Clear(u)
+	total := offs[w]
+	out := t.spareSparse
+	t.spareSparse = nil
+	out = parallel.GrowUint32(out, total)
+	if total < parallel.CompactCutoff || w == 1 {
+		for k, b := range buffers {
+			copy(out[offs[k]:], b)
+			// Reset the claim bits so the next round starts clean.
+			for _, u := range b {
+				claimed.Clear(u)
+			}
 		}
+	} else {
+		pool.Run(w, func(k int) {
+			copy(out[offs[k]:], buffers[k])
+			for _, u := range buffers[k] {
+				claimed.ClearAtomic(u)
+			}
+		})
 	}
-	s := NewSubset(g.NumVertices(), out)
+	s := t.takeSubset()
+	s.n = g.NumVertices()
+	s.sparse = out
+	s.count = total
 	s.arcs, s.arcsOK = outArcs, true
 	return s
 }
@@ -263,8 +336,9 @@ func (t *Traversal) edgeMapDense(front *Subset, cond func(uint32) bool,
 	update func(src, dst uint32) bool, opts Options) *Subset {
 
 	g := t.g
+	pool := opts.Pool
 	n := g.NumVertices()
-	bitmap := front.toBitset(t.front, opts.Workers)
+	bitmap := front.toBitset(t.front, pool, opts.Workers)
 	if front.dense == nil {
 		t.front = bitmap // keep the conversion scratch for reuse
 	}
@@ -272,13 +346,15 @@ func (t *Traversal) edgeMapDense(front *Subset, cond func(uint32) bool,
 	if out == nil || out.Len() != n {
 		out = parallel.NewBitset(n)
 	} else {
-		out.Reset(opts.Workers)
+		parallel.FillPool(pool, opts.Workers, out.Words(), 0)
 	}
 	t.spare = nil
 	offsets := g.Offsets()
 	var outArcs int64
-	parallel.ForRange(opts.Workers, n, func(lo, hi int) {
+	var outCount int64
+	pool.ForRange(opts.Workers, n, func(lo, hi int) {
 		var arcs int64
+		var count int64
 		for v := lo; v < hi; v++ {
 			u := uint32(v)
 			if !cond(u) {
@@ -288,13 +364,18 @@ func (t *Traversal) edgeMapDense(front *Subset, cond func(uint32) bool,
 				if bitmap.Get(src) && update(src, u) {
 					out.SetAtomic(u)
 					arcs += offsets[u+1] - offsets[u]
+					count++
 					break
 				}
 			}
 		}
 		atomic.AddInt64(&outArcs, arcs)
+		atomic.AddInt64(&outCount, count)
 	})
-	s := NewDenseSubset(out)
+	s := t.takeSubset()
+	s.n = n
+	s.dense = out
+	s.count = int(outCount)
 	s.arcs, s.arcsOK = outArcs, true
 	return s
 }

@@ -1,0 +1,124 @@
+package frontier
+
+import (
+	"testing"
+
+	"mpx/internal/bfs"
+	"mpx/internal/graph"
+	"mpx/internal/parallel"
+)
+
+// TestBFSPoolDeterminism runs the EdgeMap-based BFS on one explicit pool
+// at worker counts 1, 2 and 8, in both forced directions and the
+// automatic switch, and requires the distances to match the sequential
+// reference every time.
+func TestBFSPoolDeterminism(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	graphs := map[string]*graph.Graph{
+		"grid": graph.Grid2D(50, 50),
+		"gnm":  graph.GNM(4000, 16000, 5),
+	}
+	for name, g := range graphs {
+		want := bfs.Sequential(g, 0)
+		for _, w := range []int{1, 2, 8} {
+			for _, mode := range []Options{
+				{Workers: w, Pool: pool},
+				{Workers: w, Pool: pool, ForceSparse: true},
+				{Workers: w, Pool: pool, ForceDense: true},
+			} {
+				got := BFS(g, 0, mode)
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("%s workers=%d opts=%+v: dist[%d]=%d want %d",
+							name, w, mode, v, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTraversalPoolReuse drives one Traversal through many consecutive
+// BFS runs on the same pool; the recycled buffers and Subset shells must
+// not leak state between runs.
+func TestTraversalPoolReuse(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	g := graph.Grid2D(40, 40)
+	n := g.NumVertices()
+	tr := NewTraversal(g)
+	opts := Options{Workers: 8, Pool: pool}
+	for run := 0; run < 4; run++ {
+		source := uint32(run * 41)
+		want := bfs.Sequential(g, source)
+		visited := parallel.NewBitset(n)
+		dist := make([]int32, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[source] = 0
+		visited.Set(source)
+		front := NewSubset(n, []uint32{source})
+		for depth := int32(1); !front.IsEmpty(); depth++ {
+			d := depth
+			next := tr.EdgeMap(front,
+				func(u uint32) bool { return !visited.GetAtomic(u) },
+				func(src, dst uint32) bool {
+					if visited.TrySetAtomic(dst) {
+						dist[dst] = d
+						return true
+					}
+					return false
+				}, opts)
+			tr.Recycle(front)
+			front = next
+		}
+		tr.Recycle(front)
+		for v := range want {
+			if dist[v] != want[v] {
+				t.Fatalf("run %d (source %d): dist[%d]=%d want %d", run, source, v, dist[v], want[v])
+			}
+		}
+	}
+}
+
+// TestEdgeMapPoolMatchesOneShot checks the Traversal-scratch path against
+// the allocate-fresh entry point on a frontier large enough to take the
+// scan-based parallel compaction path.
+func TestEdgeMapPoolMatchesOneShot(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	g := graph.GNM(6000, 60000, 11)
+	n := g.NumVertices()
+	// A frontier of every even vertex produces a compaction larger than
+	// the serial cutoff.
+	var ids []uint32
+	for v := 0; v < n; v += 2 {
+		ids = append(ids, uint32(v))
+	}
+	for _, w := range []int{1, 2, 8} {
+		tr := NewTraversal(g)
+		got := tr.EdgeMap(NewSubset(n, append([]uint32(nil), ids...)),
+			func(u uint32) bool { return u%2 == 1 },
+			func(src, dst uint32) bool { return true },
+			Options{Workers: w, Pool: pool, ForceSparse: true})
+		want := EdgeMap(g, NewSubset(n, append([]uint32(nil), ids...)),
+			func(u uint32) bool { return u%2 == 1 },
+			func(src, dst uint32) bool { return true },
+			Options{Workers: w, ForceSparse: true})
+		if got.Len() != want.Len() {
+			t.Fatalf("w=%d: %d admitted vs %d", w, got.Len(), want.Len())
+		}
+		gm, wm := got.Vertices(), want.Vertices()
+		gotSet := make(map[uint32]bool, len(gm))
+		for _, v := range gm {
+			gotSet[v] = true
+		}
+		for _, v := range wm {
+			if !gotSet[v] {
+				t.Fatalf("w=%d: vertex %d missing from pool-path output", w, v)
+			}
+		}
+	}
+}

@@ -54,6 +54,12 @@ func (b *Bitset) TrySetAtomic(i uint32) bool {
 	return atomic.OrUint64(&b.words[i>>6], mask)&mask == 0
 }
 
+// ClearAtomic clears bit i with an atomic AND, safe under concurrent
+// writers to the same word (the parallel claim-reset path).
+func (b *Bitset) ClearAtomic(i uint32) {
+	atomic.AndUint64(&b.words[i>>6], ^(uint64(1) << (i & 63)))
+}
+
 // GetAtomic reports bit i with an atomic load.
 func (b *Bitset) GetAtomic(i uint32) bool {
 	return atomic.LoadUint64(&b.words[i>>6])&(1<<(i&63)) != 0
@@ -86,6 +92,48 @@ func (b *Bitset) Members(out []uint32) []uint32 {
 			w &= w - 1
 		}
 	}
+	return out
+}
+
+// MembersInto is Members on a worker pool (nil p means Default): a
+// two-pass parallel count/scan/write over word blocks. The output is
+// identical to Members at every worker count; out is reused when its
+// capacity suffices.
+func (b *Bitset) MembersInto(p *Pool, workers int, out []uint32) []uint32 {
+	nw := len(b.words)
+	w := Workers(workers, nw)
+	if w == 1 || nw < serialCutoff {
+		return b.Members(out[:0])
+	}
+	p = p.orDefault()
+	counts := make([]int64, w)
+	p.Run(w, func(k int) {
+		lo, hi := k*nw/w, (k+1)*nw/w
+		var c int64
+		for wi := lo; wi < hi; wi++ {
+			c += int64(bits.OnesCount64(b.words[wi]))
+		}
+		counts[k] = c
+	})
+	var run int64
+	for k := 0; k < w; k++ {
+		v := counts[k]
+		counts[k] = run
+		run += v
+	}
+	out = GrowUint32(out[:0], int(run))
+	p.Run(w, func(k int) {
+		lo, hi := k*nw/w, (k+1)*nw/w
+		pos := counts[k]
+		for wi := lo; wi < hi; wi++ {
+			word := b.words[wi]
+			base := uint32(wi) << 6
+			for ; word != 0; word &= word - 1 {
+				out[pos] = base + uint32(bits.TrailingZeros64(word))
+				pos++
+			}
+		}
+	})
 	return out
 }
 

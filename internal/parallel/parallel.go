@@ -3,15 +3,25 @@
 // blocked reductions, prefix sums (scans), stream packing, and small atomic
 // helpers.
 //
+// All primitives execute on a persistent worker pool (Pool) instead of
+// spawning goroutines per call: the package-level functions run on the
+// shared Default() pool, and every primitive is also a method on *Pool for
+// callers that construct their own. A pool's workers are started once,
+// park on a channel between submissions, and are woken only when a loop is
+// submitted; the submitting goroutine always participates, so loops
+// complete even on a closed pool and nested submission cannot deadlock.
+// See the Pool type for the scheduling model and lifecycle.
+//
 // All primitives take an explicit worker count so callers can sweep
 // parallelism in experiments; workers <= 0 means runtime.GOMAXPROCS(0).
-// Every primitive is deterministic: its result never depends on goroutine
-// scheduling.
+// The worker count fixes the logical block decomposition (and therefore
+// the result), not the physical parallelism: which pool worker executes a
+// block is unspecified. Every primitive is deterministic — its result
+// never depends on goroutine scheduling.
 package parallel
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -32,43 +42,27 @@ func Workers(requested, n int) int {
 	return w
 }
 
-// serialCutoff is the range size below which forking goroutines costs more
-// than it saves; loops this small run inline.
+// serialCutoff is the range size below which submitting to the pool costs
+// more than it saves; loops this small run inline.
 const serialCutoff = 2048
 
-// For runs body(i) for every i in [0, n) using the given number of workers.
-// The index space is split into contiguous blocks, one per worker, so body
-// benefits from cache locality over CSR arrays.
+// CompactCutoff is the shared work-size threshold below which round loops
+// (frontier/BFS/partition compaction copies) run inline rather than on the
+// pool. It equals the primitive serial cutoff so the whole stack switches
+// to parallel execution at one size.
+const CompactCutoff = serialCutoff
+
+// For runs body(i) for every i in [0, n) using the given number of workers
+// on the default pool. The index space is split into contiguous blocks, one
+// per worker, so body benefits from cache locality over CSR arrays.
 func For(workers, n int, body func(i int)) {
-	ForRange(workers, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			body(i)
-		}
-	})
+	Default().For(workers, n, body)
 }
 
 // ForRange splits [0, n) into one contiguous block per worker and runs
-// body(lo, hi) on each block concurrently.
+// body(lo, hi) on each block concurrently on the default pool.
 func ForRange(workers, n int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	w := Workers(workers, n)
-	if w == 1 || n < serialCutoff {
-		body(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * n / w
-		hi := (k + 1) * n / w
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	Default().ForRange(workers, n, body)
 }
 
 // ForDynamic runs body(i) for i in [0, n) with dynamic chunk scheduling:
@@ -76,285 +70,44 @@ func ForRange(workers, n int, body func(lo, hi int)) {
 // Use it when per-index cost is highly skewed (e.g. per-vertex work
 // proportional to degree on power-law graphs). chunk <= 0 picks a default.
 func ForDynamic(workers, n, chunk int, body func(i int)) {
-	if n <= 0 {
-		return
-	}
-	w := Workers(workers, n)
-	if chunk <= 0 {
-		chunk = 256
-	}
-	if w == 1 || n < serialCutoff {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					body(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	Default().ForDynamic(workers, n, chunk, body)
 }
 
 // ReduceInt64 computes the sum over i in [0, n) of f(i) using a blocked
 // tree-free reduction (per-worker partials, then a serial combine).
 func ReduceInt64(workers, n int, f func(i int) int64) int64 {
-	if n <= 0 {
-		return 0
-	}
-	w := Workers(workers, n)
-	if w == 1 || n < serialCutoff {
-		var s int64
-		for i := 0; i < n; i++ {
-			s += f(i)
-		}
-		return s
-	}
-	partial := make([]int64, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * n / w
-		hi := (k + 1) * n / w
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			var s int64
-			for i := lo; i < hi; i++ {
-				s += f(i)
-			}
-			partial[k] = s
-		}(k, lo, hi)
-	}
-	wg.Wait()
-	var s int64
-	for _, p := range partial {
-		s += p
-	}
-	return s
+	return Default().ReduceInt64(workers, n, f)
 }
 
 // ReduceFloat64 is ReduceInt64 for float64 values. The combine order is
 // fixed (worker index order) so results are deterministic for a fixed
 // worker count.
 func ReduceFloat64(workers, n int, f func(i int) float64) float64 {
-	if n <= 0 {
-		return 0
-	}
-	w := Workers(workers, n)
-	if w == 1 || n < serialCutoff {
-		var s float64
-		for i := 0; i < n; i++ {
-			s += f(i)
-		}
-		return s
-	}
-	partial := make([]float64, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * n / w
-		hi := (k + 1) * n / w
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			var s float64
-			for i := lo; i < hi; i++ {
-				s += f(i)
-			}
-			partial[k] = s
-		}(k, lo, hi)
-	}
-	wg.Wait()
-	var s float64
-	for _, p := range partial {
-		s += p
-	}
-	return s
+	return Default().ReduceFloat64(workers, n, f)
 }
 
 // MaxFloat64 returns the maximum of f(i) over [0, n) and the smallest index
 // attaining it. n must be >= 1.
 func MaxFloat64(workers, n int, f func(i int) float64) (max float64, argmax int) {
-	if n <= 0 {
-		panic("parallel: MaxFloat64 over empty range")
-	}
-	w := Workers(workers, n)
-	type pair struct {
-		v float64
-		i int
-	}
-	if w == 1 || n < serialCutoff {
-		best := pair{f(0), 0}
-		for i := 1; i < n; i++ {
-			if v := f(i); v > best.v {
-				best = pair{v, i}
-			}
-		}
-		return best.v, best.i
-	}
-	partial := make([]pair, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * n / w
-		hi := (k + 1) * n / w
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			best := pair{f(lo), lo}
-			for i := lo + 1; i < hi; i++ {
-				if v := f(i); v > best.v {
-					best = pair{v, i}
-				}
-			}
-			partial[k] = best
-		}(k, lo, hi)
-	}
-	wg.Wait()
-	best := partial[0]
-	for _, p := range partial[1:] {
-		if p.v > best.v {
-			best = p
-		}
-	}
-	return best.v, best.i
+	return Default().MaxFloat64(workers, n, f)
 }
 
 // ExclusiveScan replaces data with its exclusive prefix sum and returns the
 // total. The scan is computed with the classic two-pass blocked algorithm:
 // per-block sums, serial scan of block sums, then per-block local scans.
 func ExclusiveScan(workers int, data []int64) int64 {
-	n := len(data)
-	if n == 0 {
-		return 0
-	}
-	w := Workers(workers, n)
-	if w == 1 || n < serialCutoff {
-		var run int64
-		for i := 0; i < n; i++ {
-			v := data[i]
-			data[i] = run
-			run += v
-		}
-		return run
-	}
-	blockSum := make([]int64, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * n / w
-		hi := (k + 1) * n / w
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			var s int64
-			for i := lo; i < hi; i++ {
-				s += data[i]
-			}
-			blockSum[k] = s
-		}(k, lo, hi)
-	}
-	wg.Wait()
-	var run int64
-	for k := 0; k < w; k++ {
-		v := blockSum[k]
-		blockSum[k] = run
-		run += v
-	}
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * n / w
-		hi := (k + 1) * n / w
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			local := blockSum[k]
-			for i := lo; i < hi; i++ {
-				v := data[i]
-				data[i] = local
-				local += v
-			}
-		}(k, lo, hi)
-	}
-	wg.Wait()
-	return run
+	return Default().ExclusiveScan(workers, data)
 }
 
 // Pack returns the values v in [0, n) (in increasing order) for which
 // keep(v) is true. It is the parallel filter used to build BFS frontiers.
 func Pack(workers, n int, keep func(i int) bool) []uint32 {
-	if n <= 0 {
-		return nil
-	}
-	w := Workers(workers, n)
-	if w == 1 || n < serialCutoff {
-		var out []uint32
-		for i := 0; i < n; i++ {
-			if keep(i) {
-				out = append(out, uint32(i))
-			}
-		}
-		return out
-	}
-	counts := make([]int64, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * n / w
-		hi := (k + 1) * n / w
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			var c int64
-			for i := lo; i < hi; i++ {
-				if keep(i) {
-					c++
-				}
-			}
-			counts[k] = c
-		}(k, lo, hi)
-	}
-	wg.Wait()
-	total := ExclusiveScan(1, counts)
-	out := make([]uint32, total)
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * n / w
-		hi := (k + 1) * n / w
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			pos := counts[k]
-			for i := lo; i < hi; i++ {
-				if keep(i) {
-					out[pos] = uint32(i)
-					pos++
-				}
-			}
-		}(k, lo, hi)
-	}
-	wg.Wait()
-	return out
+	return Default().Pack(workers, n, keep)
 }
 
-// Fill sets every element of data to v in parallel.
+// Fill sets every element of data to v in parallel on the default pool.
 func Fill[T any](workers int, data []T, v T) {
-	ForRange(workers, len(data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			data[i] = v
-		}
-	})
+	FillPool(Default(), workers, data, v)
 }
 
 // MinUint64 atomically lowers *addr to v if v is smaller, returning true if

@@ -1,0 +1,289 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolPrimitivesMatchSerial checks every pool primitive against its
+// serial result at worker counts 1, 2 and 8, on sizes straddling the
+// serial cutoff.
+func TestPoolPrimitivesMatchSerial(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 7, serialCutoff - 1, serialCutoff + 1, 50000} {
+		for _, w := range []int{1, 2, 8} {
+			hits := make([]int32, n)
+			p.For(w, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("For n=%d w=%d: index %d hit %d times", n, w, i, h)
+				}
+			}
+
+			var covered int64
+			p.ForRange(w, n, func(lo, hi int) { atomic.AddInt64(&covered, int64(hi-lo)) })
+			if covered != int64(n) {
+				t.Fatalf("ForRange n=%d w=%d covered %d", n, w, covered)
+			}
+
+			Fill(w, hits, 0)
+			p.ForDynamic(w, n, 64, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("ForDynamic n=%d w=%d: index %d hit %d times", n, w, i, h)
+				}
+			}
+
+			got := p.ReduceInt64(w, n, func(i int) int64 { return int64(i) })
+			if want := int64(n) * int64(n-1) / 2; got != want {
+				t.Fatalf("ReduceInt64 n=%d w=%d: got %d want %d", n, w, got, want)
+			}
+
+			gotF := p.ReduceFloat64(w, n, func(i int) float64 { return 1 })
+			if gotF != float64(n) {
+				t.Fatalf("ReduceFloat64 n=%d w=%d: got %g", n, w, gotF)
+			}
+
+			if n > 0 {
+				max, arg := p.MaxFloat64(w, n, func(i int) float64 { return float64(i % 1024) })
+				wantMax := float64((n - 1) % 1024)
+				if n > 1024 {
+					wantMax = 1023
+				}
+				if max != wantMax || int(max) != arg%1024 {
+					t.Fatalf("MaxFloat64 n=%d w=%d: got (%g,%d)", n, w, max, arg)
+				}
+			}
+
+			data := make([]int64, n)
+			for i := range data {
+				data[i] = 1
+			}
+			if total := p.ExclusiveScan(w, data); total != int64(n) {
+				t.Fatalf("ExclusiveScan n=%d w=%d total %d", n, w, total)
+			}
+			for i, v := range data {
+				if v != int64(i) {
+					t.Fatalf("ExclusiveScan n=%d w=%d: data[%d]=%d", n, w, i, v)
+				}
+			}
+
+			packed := p.Pack(w, n, func(i int) bool { return i%3 == 0 })
+			if want := (n + 2) / 3; len(packed) != want {
+				t.Fatalf("Pack n=%d w=%d: %d elements want %d", n, w, len(packed), want)
+			}
+			for i, v := range packed {
+				if v != uint32(3*i) {
+					t.Fatalf("Pack n=%d w=%d: packed[%d]=%d", n, w, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolPackIntoReusesBuffer verifies that PackInto reuses a buffer of
+// sufficient capacity and still produces the exact filter output.
+func TestPoolPackIntoReusesBuffer(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	n := 30000
+	buf := make([]uint32, 0, n)
+	for iter := 0; iter < 3; iter++ {
+		out := p.PackInto(4, n, func(i int) bool { return i%2 == 0 }, buf)
+		if len(out) != n/2 {
+			t.Fatalf("iter %d: got %d want %d", iter, len(out), n/2)
+		}
+		if cap(buf) > 0 && &out[0] != &buf[:1][0] {
+			t.Fatalf("iter %d: PackInto did not reuse the buffer", iter)
+		}
+		buf = out[:0]
+	}
+}
+
+// TestPoolConcat checks scan-based concatenation against a serial append,
+// including buffer reuse.
+func TestPoolConcat(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	bufs := make([][]uint32, 7)
+	next := uint32(0)
+	for k := range bufs {
+		for j := 0; j < 1000*k; j++ {
+			bufs[k] = append(bufs[k], next)
+			next++
+		}
+	}
+	dst := p.Concat(8, nil, bufs)
+	if len(dst) != int(next) {
+		t.Fatalf("got %d elements want %d", len(dst), next)
+	}
+	for i, v := range dst {
+		if v != uint32(i) {
+			t.Fatalf("dst[%d]=%d", i, v)
+		}
+	}
+	// Reuse: concatenating into the same backing array must not allocate a
+	// new one.
+	dst2 := p.Concat(8, dst[:0], bufs)
+	if &dst2[0] != &dst[0] {
+		t.Error("Concat did not reuse dst's backing array")
+	}
+}
+
+// TestPoolReuseAcrossRuns runs many consecutive loops on one pool and
+// checks the persistent workers neither leak nor die: goroutine count
+// stays flat and results stay exact.
+func TestPoolReuseAcrossRuns(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	// Warm up so the workers exist before the baseline count.
+	p.For(4, 10000, func(int) {})
+	base := runtime.NumGoroutine()
+	for iter := 0; iter < 200; iter++ {
+		got := p.ReduceInt64(4, 10000, func(i int) int64 { return 1 })
+		if got != 10000 {
+			t.Fatalf("iter %d: got %d", iter, got)
+		}
+	}
+	if g := runtime.NumGoroutine(); g > base+4 {
+		t.Errorf("goroutines grew from %d to %d across 200 runs", base, g)
+	}
+}
+
+// TestPoolNestedAndConcurrentSubmission stresses the scheduler shape the
+// round loops produce: multiple goroutines submitting concurrently, with
+// loop bodies that themselves submit nested loops to the same pool. Run
+// under -race in CI.
+func TestPoolNestedAndConcurrentSubmission(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 12000
+	want := int64(n) * int64(n-1) / 2
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 25; iter++ {
+				var total int64
+				p.ForRange(3, n, func(lo, hi int) {
+					// Nested submission from inside a running slot; the
+					// inner range is large enough to take the parallel path.
+					s := p.ReduceInt64(2, hi-lo, func(i int) int64 { return int64(lo + i) })
+					atomic.AddInt64(&total, s)
+				})
+				if total != want {
+					t.Errorf("nested sum: got %d want %d", total, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPoolClosedStillCompletes verifies primitives stay correct after
+// Close: the submitter drains every slot itself.
+func TestPoolClosedStillCompletes(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	// Give the workers a moment to exit so the test exercises the
+	// no-helpers path deterministically.
+	time.Sleep(10 * time.Millisecond)
+	for iter := 0; iter < 10; iter++ {
+		got := p.ReduceInt64(4, 10000, func(i int) int64 { return int64(i) })
+		if want := int64(10000) * 9999 / 2; got != want {
+			t.Fatalf("closed pool: got %d want %d", got, want)
+		}
+	}
+}
+
+// TestPoolNilReceiverUsesDefault checks the nil-pool convention every
+// Options plumbing relies on.
+func TestPoolNilReceiverUsesDefault(t *testing.T) {
+	var p *Pool
+	got := p.ReduceInt64(4, 5000, func(i int) int64 { return 2 })
+	if got != 10000 {
+		t.Fatalf("nil pool: got %d", got)
+	}
+	if p.Size() != Default().Size() {
+		t.Errorf("nil pool size %d, default %d", p.Size(), Default().Size())
+	}
+}
+
+// TestPoolDeterministicResults verifies the slot decomposition (not the
+// physical scheduling) fixes results: repeated runs at each worker count
+// produce bit-identical outputs for order-sensitive primitives.
+func TestPoolDeterministicResults(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	n := 40000
+	for _, w := range []int{1, 2, 8} {
+		var first []uint32
+		for rep := 0; rep < 5; rep++ {
+			got := p.Pack(w, n, func(i int) bool { return i%7 == 3 })
+			if rep == 0 {
+				first = got
+				continue
+			}
+			if len(got) != len(first) {
+				t.Fatalf("w=%d rep=%d: length %d vs %d", w, rep, len(got), len(first))
+			}
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("w=%d rep=%d: element %d differs", w, rep, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBitsetMembersIntoMatchesMembers checks the parallel member scan
+// against the serial one on a universe large enough for the parallel path.
+func TestBitsetMembersIntoMatchesMembers(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	n := serialCutoff * 64 * 2 // enough words for the parallel path
+	b := NewBitset(n)
+	for i := 0; i < n; i += 17 {
+		b.Set(uint32(i))
+	}
+	want := b.Members(nil)
+	for _, w := range []int{1, 2, 8} {
+		got := b.MembersInto(p, w, nil)
+		if len(got) != len(want) {
+			t.Fatalf("w=%d: %d members want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("w=%d: member %d: got %d want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBitsetClearAtomic checks the atomic clear against plain Clear.
+func TestBitsetClearAtomic(t *testing.T) {
+	b := NewBitset(128)
+	for i := uint32(0); i < 128; i++ {
+		b.Set(i)
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := uint32(k); i < 128; i += 4 {
+				b.ClearAtomic(i)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if got := b.Count(1); got != 0 {
+		t.Errorf("%d bits survived concurrent ClearAtomic", got)
+	}
+}
