@@ -127,21 +127,26 @@ func BenchmarkE5DepthWork(b *testing.B) {
 // and the low-diameter gnm family (single-core hosts measure
 // synchronization overhead; multi-core hosts measure speedup). All runs
 // share benchPool, so the sweep isolates the logical worker count from
-// pool construction.
+// pool construction. The gnm-smallbeta case runs β=0.01, where the
+// shift-plan radix sort dominates the serial fraction — it is the workload
+// the pool-parallel sortByFrac passes are gated on.
 func BenchmarkE6Workers(b *testing.B) {
+	gnm := graph.GNM(40000, 160000, 1)
 	families := []struct {
 		name string
 		g    *graph.Graph
+		beta float64
 	}{
-		{"grid", benchGrid},
-		{"gnm", graph.GNM(40000, 160000, 1)},
+		{"grid", benchGrid, 0.1},
+		{"gnm", gnm, 0.1},
+		{"gnm-smallbeta", gnm, 0.01},
 	}
 	for _, fam := range families {
 		for _, w := range []int{1, 2, 4, 8, 16} {
 			b.Run(fmt.Sprintf("%s/workers=%d", fam.name, w), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := core.Partition(fam.g, 0.1, core.Options{Seed: 1, Workers: w, Pool: benchPool}); err != nil {
+					if _, err := core.Partition(fam.g, fam.beta, core.Options{Seed: 1, Workers: w, Pool: benchPool}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -310,11 +315,25 @@ func BenchmarkE19Direction(b *testing.B) {
 // steady-state round's only garbage is the handful of loop closures
 // submitted to the pool (every O(n) buffer is owned by the Traversal /
 // pool scratch), so the per-round allocation count must stay a small
-// constant. An accidental per-round O(n) buffer shows up here as tens of
-// kilobytes per round and fails the bytes gate.
+// constant. The measured baseline is ~3.4 allocs and ~2.7 KB per round;
+// the gates are hard ceilings with modest headroom, not loose tolerances —
+// an accidental per-round O(n) buffer shows up as tens of kilobytes per
+// round and fails the bytes gate immediately.
 const (
-	maxSteadyAllocsPerRound = 24
-	maxSteadyBytesPerRound  = 8192
+	maxSteadyAllocsPerRound = 6
+	maxSteadyBytesPerRound  = 4096
+)
+
+// Weighted-round gates for E20's weighted variant. A weighted partition
+// call unavoidably allocates its O(n) result and setup arrays once, which
+// amortize over its hundreds of buckets/rounds; the per-round remainder is
+// the submitted closures plus that amortized setup. An O(n) buffer
+// allocated per bucket round (the regression this guards against — e.g.
+// the pull cohort or frontier bitmap losing its reuse) costs ~100 KB/round
+// on this workload and blows the bytes gate by an order of magnitude.
+const (
+	maxWeightedAllocsPerRound = 12
+	maxWeightedBytesPerRound  = 24576
 )
 
 // BenchmarkE20RoundOverhead measures the fixed overhead of one
@@ -380,6 +399,85 @@ func BenchmarkE20RoundOverhead(b *testing.B) {
 	if bytesPerRound > maxSteadyBytesPerRound {
 		b.Fatalf("steady-state rounds allocate %.0f B/round (gate %d): an O(n) per-round buffer is back",
 			bytesPerRound, maxSteadyBytesPerRound)
+	}
+}
+
+// BenchmarkE20WeightedRoundOverhead is the weighted companion of E20: it
+// measures allocations per Δ-stepping bucket round across whole
+// PartitionWeightedParallel calls (auto direction, so push and pull rounds
+// both execute) and fails the run when a per-round O(n) allocation sneaks
+// back into the relaxation/pull/cohort machinery.
+func BenchmarkE20WeightedRoundOverhead(b *testing.B) {
+	wg := graph.RandomWeights(graph.Grid2D(120, 120), 1, 10, 3)
+	opts := core.Options{Seed: 1, Workers: 8, Pool: benchPool}
+	run := func() int {
+		d, err := core.PartitionWeightedParallel(wg, 0.1, 0, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d.Rounds
+	}
+	run() // warm the pool and the allocator size classes before measuring
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	b.ReportAllocs()
+	totalRounds := 0
+	for i := 0; i < b.N; i++ {
+		totalRounds += run()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	allocsPerRound := float64(after.Mallocs-before.Mallocs) / float64(totalRounds)
+	bytesPerRound := float64(after.TotalAlloc-before.TotalAlloc) / float64(totalRounds)
+	b.ReportMetric(allocsPerRound, "allocs/round")
+	b.ReportMetric(bytesPerRound, "B/round")
+	b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds")
+	if allocsPerRound > maxWeightedAllocsPerRound {
+		b.Fatalf("weighted rounds allocate %.1f objects/round (gate %d): per-round scratch is leaking",
+			allocsPerRound, maxWeightedAllocsPerRound)
+	}
+	if bytesPerRound > maxWeightedBytesPerRound {
+		b.Fatalf("weighted rounds allocate %.0f B/round (gate %d): an O(n) per-round buffer is back",
+			bytesPerRound, maxWeightedBytesPerRound)
+	}
+}
+
+// BenchmarkE21WeightedDirection is the weighted analogue of the E19
+// sweep: push-only against the Beamer-switching hybrid (and pull-only for
+// reference) on the high-diameter grid (where the hybrid must not lose)
+// and the low-diameter gnm family (where dense buckets favor pull).
+func BenchmarkE21WeightedDirection(b *testing.B) {
+	families := []struct {
+		name string
+		wg   *graph.WeightedGraph
+	}{
+		{"grid", graph.RandomWeights(graph.Grid2D(150, 150), 1, 10, 5)},
+		{"gnm", graph.RandomWeights(graph.GNM(40000, 160000, 1), 1, 10, 5)},
+	}
+	modes := []struct {
+		name string
+		dir  core.Direction
+	}{
+		{"push", core.DirectionForcePush},
+		{"hybrid", core.DirectionAuto},
+		{"pull", core.DirectionForcePull},
+	}
+	for _, fam := range families {
+		for _, mode := range modes {
+			b.Run(fam.name+"/"+mode.name, func(b *testing.B) {
+				var rounds int
+				for i := 0; i < b.N; i++ {
+					d, err := core.PartitionWeightedParallel(fam.wg, 0.1, 0,
+						core.Options{Seed: 1, Workers: 8, Pool: benchPool, Direction: mode.dir})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = d.Rounds
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+			})
+		}
 	}
 }
 

@@ -37,7 +37,7 @@ func main() {
 		algo      = flag.String("algo", "mpx", "algorithm: mpx|seq|exact|ballgrow|iterative|weighted|weighted-par")
 		wmax      = flag.Float64("wmax", 4, "max edge weight for weighted algorithms (U(1,wmax))")
 		tie       = flag.String("tie", "fractional", "tie-break: fractional|permutation")
-		direction = flag.String("direction", "auto", "partition traversal: auto|push|pull (mpx algorithm only)")
+		direction = flag.String("direction", "auto", "partition traversal: auto|push|pull (mpx and weighted-par algorithms)")
 		pngPath   = flag.String("png", "", "write cluster coloring PNG (grid generators only)")
 		validate  = flag.Bool("validate", false, "run full O(m) decomposition validation")
 	)
@@ -98,7 +98,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("graph: n=%d m=%d (weights U(1,%g))\n", g.NumVertices(), g.NumEdges(), *wmax)
-		fmt.Printf("decomposition: beta=%g clusters=%d rounds=%d\n", *beta, wd.NumClusters(), wd.Rounds)
+		if *algo == "weighted-par" {
+			fmt.Printf("decomposition: beta=%g clusters=%d rounds=%d direction=%s\n",
+				*beta, wd.NumClusters(), wd.Rounds, dir)
+		} else {
+			fmt.Printf("decomposition: beta=%g clusters=%d rounds=%d\n", *beta, wd.NumClusters(), wd.Rounds)
+		}
 		fmt.Printf("radius: max=%.2f (deltaMax=%.2f)\n", wd.MaxRadius(), wd.DeltaMax)
 		fmt.Printf("cut: weightFraction=%.4f edgeFraction=%.4f\n",
 			wd.CutWeightFraction(), wd.CutEdgeFraction())

@@ -156,3 +156,59 @@ func TestDeltaSteppingRoundsScaleWithDelta(t *testing.T) {
 			small.Rounds, large.Rounds)
 	}
 }
+
+// TestDeltaSteppingSubUlpWeightsAcyclic is the regression test for the
+// parent-cycle bug: when an edge weight is below half an ulp of the
+// neighbor's distance, dist[u]+w rounds to dist[u] and adjacent vertices
+// end with bit-identical distances — each explains the other exactly, so
+// the parent resolution must break the tie (strictly decreasing
+// (dist, id)) instead of building a 2-cycle.
+func TestDeltaSteppingSubUlpWeightsAcyclic(t *testing.T) {
+	wg, err := graph.FromWeightedEdges(4, []graph.WeightedEdge{
+		{U: 0, V: 1, W: 1.0},
+		{U: 1, V: 2, W: 1e-30},
+		{U: 2, V: 3, W: 1e-30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []Direction{DirectionPush, DirectionPull, DirectionAuto} {
+		init := make([]float64, 4)
+		for i := range init {
+			init[i] = math.Inf(1)
+		}
+		init[0] = 0
+		res := DeltaSteppingMultiPoolDir(nil, wg, init, 0, 2, dir)
+		// Walk every parent chain; it must reach a self-parent within n steps.
+		for v := range res.Parent {
+			x, steps := uint32(v), 0
+			for res.Parent[x] != x {
+				x = res.Parent[x]
+				if steps++; steps > len(res.Parent) {
+					t.Fatalf("dir=%v: parent chain from %d cycles (parents=%v)", dir, v, res.Parent)
+				}
+			}
+		}
+		// Every non-source parent must still explain its child's distance.
+		for v, p := range res.Parent {
+			if uint32(v) == p {
+				continue
+			}
+			if math.Float64bits(res.Dist[v]) != math.Float64bits(res.Dist[p]+edgeW(t, wg, p, uint32(v))) {
+				t.Fatalf("dir=%v: parent %d does not explain dist of %d", dir, p, v)
+			}
+		}
+	}
+}
+
+func edgeW(t *testing.T, wg *graph.WeightedGraph, u, v uint32) float64 {
+	t.Helper()
+	nbrs, ws := wg.Neighbors(u)
+	for i, x := range nbrs {
+		if x == v {
+			return ws[i]
+		}
+	}
+	t.Fatalf("no edge %d-%d", u, v)
+	return 0
+}

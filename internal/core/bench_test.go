@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"mpx/internal/graph"
+	"mpx/internal/parallel"
+	"mpx/internal/xrand"
 )
 
 func BenchmarkPartitionGridSizes(b *testing.B) {
@@ -38,6 +40,36 @@ func BenchmarkShiftPlan(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = newShiftPlan(1<<17, 0.1, Options{Seed: uint64(i)})
+	}
+}
+
+// BenchmarkSortByFrac isolates the shift-plan tie-break sort (the dominant
+// serial fraction of small-β partitions after PR 2): workers=1 runs the
+// serial skip-pass radix sort, higher counts the pool-parallel
+// per-worker-histogram passes. Ranks are identical at every count (the
+// property tests pin that); this measures the wall-clock side on
+// multi-core hosts.
+func BenchmarkSortByFrac(b *testing.B) {
+	const n = 1 << 19
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	frac := make([]float64, n)
+	for i := range frac {
+		frac[i] = xrand.Uniform01(7, uint64(i))
+	}
+	base := make([]uint32, n)
+	for i := range base {
+		base[i] = uint32(i)
+	}
+	order := make([]uint32, n)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(order, base)
+				sortByFrac(pool, w, order, frac)
+			}
+		})
 	}
 }
 

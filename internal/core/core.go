@@ -130,10 +130,13 @@ type Options struct {
 	TieBreak TieBreak
 	// ShiftSource selects the shift distribution.
 	ShiftSource ShiftSource
-	// Direction selects the per-round traversal mode. Push and pull rounds
-	// resolve claims to the same minimum packed (rank, proposer) key, so
-	// every mode produces the identical decomposition; the choice only
-	// moves work between cache-friendly dense scans and sparse expansions.
+	// Direction selects the per-round traversal mode, for both the
+	// unweighted Partition and the weighted PartitionWeightedParallel.
+	// Push and pull rounds resolve claims to the same minimum packed key
+	// ((rank, proposer) for the unweighted BFS, (distance bits, proposer)
+	// for the weighted Δ-stepping), so every mode produces the identical
+	// decomposition; the choice only moves work between cache-friendly
+	// dense scans and sparse expansions. See docs/determinism.md.
 	Direction Direction
 	// MaxRadius, when positive, aborts BFS trees at this distance from
 	// their center; the proof of Theorem 1.2 notes the algorithm may be

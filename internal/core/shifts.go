@@ -44,7 +44,8 @@ func GenerateShifts(n int, beta float64, seed uint64, source ShiftSource) []floa
 	return shifts
 }
 
-// newShiftPlan prepares the plan for a partition run.
+// newShiftPlan prepares the plan for a partition run; every O(n) pass and
+// the tie-break radix sort execute on the caller's pool.
 func newShiftPlan(n int, beta float64, opts Options) *shiftPlan {
 	p := &shiftPlan{
 		shifts: GenerateShifts(n, beta, opts.Seed, opts.ShiftSource),
@@ -55,10 +56,11 @@ func newShiftPlan(n int, beta float64, opts Options) *shiftPlan {
 	if n == 0 {
 		return p
 	}
-	p.deltaMax, _ = parallel.MaxFloat64(opts.Workers, n, func(i int) float64 { return p.shifts[i] })
+	pool := opts.Pool
+	p.deltaMax, _ = pool.MaxFloat64(opts.Workers, n, func(i int) float64 { return p.shifts[i] })
 
 	fracs := make([]float64, n)
-	parallel.For(opts.Workers, n, func(v int) {
+	pool.For(opts.Workers, n, func(v int) {
 		s := p.deltaMax - p.shifts[v]
 		p.start[v] = s
 		b := math.Floor(s)
@@ -75,7 +77,7 @@ func newShiftPlan(n int, beta float64, opts Options) *shiftPlan {
 		for i := range order {
 			order[i] = uint32(i)
 		}
-		sortByFrac(order, fracs)
+		sortByFrac(pool, opts.Workers, order, fracs)
 		for r, v := range order {
 			p.rank[v] = uint32(r)
 		}
@@ -105,48 +107,118 @@ func newShiftPlan(n int, beta float64, opts Options) *shiftPlan {
 // byte-at-a-time passes stream sequentially instead of the random frac[]
 // lookups a merge sort pays; passes whose byte is constant across all keys
 // (the high exponent bytes, for fracs in [0,1)) are skipped outright.
-func sortByFrac(order []uint32, frac []float64) {
+//
+// Large inputs run the passes on the pool: each pass counts bytes with one
+// histogram per worker block, turns the histograms into per-(byte, worker)
+// start offsets with an exclusive scan in (byte, worker) order, and
+// scatters each block in order. Keys with equal bytes land ordered by
+// (worker block, position within block) — exactly their pre-pass order —
+// so every pass is the same stable counting sort the serial loop performs
+// and the resulting ranks are identical at every worker count, including 1.
+func sortByFrac(pool *parallel.Pool, workers int, order []uint32, frac []float64) {
 	n := len(order)
 	if n < 2 {
 		return
 	}
 	keysA := make([]uint64, n)
-	for i, v := range order {
-		keysA[i] = math.Float64bits(frac[v])
-	}
+	pool.ForRange(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keysA[i] = math.Float64bits(frac[order[i]])
+		}
+	})
 	keysB := make([]uint64, n)
 	idsB := make([]uint32, n)
 	srcK, srcI := keysA, order
 	dstK, dstI := keysB, idsB
-	var count [256]int
-	for shift := uint(0); shift < 64; shift += 8 {
-		for b := range count {
-			count[b] = 0
+	w := parallel.Workers(workers, n)
+	if w == 1 || n < parallel.CompactCutoff {
+		var count [256]int
+		for shift := uint(0); shift < 64; shift += 8 {
+			for b := range count {
+				count[b] = 0
+			}
+			for _, k := range srcK {
+				count[(k>>shift)&0xff]++
+			}
+			if count[(srcK[0]>>shift)&0xff] == n {
+				continue // every key shares this byte; the pass is a no-op
+			}
+			pos := 0
+			for b := 0; b < 256; b++ {
+				c := count[b]
+				count[b] = pos
+				pos += c
+			}
+			for i, k := range srcK {
+				b := (k >> shift) & 0xff
+				j := count[b]
+				count[b]++
+				dstK[j] = k
+				dstI[j] = srcI[i]
+			}
+			srcK, dstK = dstK, srcK
+			srcI, dstI = dstI, srcI
 		}
-		for _, k := range srcK {
-			count[(k>>shift)&0xff]++
+	} else {
+		counts := make([]int, w*256)
+		totals := make([]int, 256)
+		for shift := uint(0); shift < 64; shift += 8 {
+			sk := srcK
+			pool.Run(w, func(k int) {
+				lo, hi := k*n/w, (k+1)*n/w
+				c := counts[k*256 : (k+1)*256]
+				for b := range c {
+					c[b] = 0
+				}
+				for _, key := range sk[lo:hi] {
+					c[(key>>shift)&0xff]++
+				}
+			})
+			for b := range totals {
+				totals[b] = 0
+			}
+			for k := 0; k < w; k++ {
+				c := counts[k*256 : (k+1)*256]
+				for b := 0; b < 256; b++ {
+					totals[b] += c[b]
+				}
+			}
+			if totals[(sk[0]>>shift)&0xff] == n {
+				continue // same skip rule as the serial passes
+			}
+			// Exclusive scan in (byte, worker) order: counts[k*256+b]
+			// becomes the destination offset of worker k's first key
+			// carrying byte b. The scan touches w*256 cells serially —
+			// negligible next to the O(n) scatter.
+			pos := 0
+			for b := 0; b < 256; b++ {
+				for k := 0; k < w; k++ {
+					c := counts[k*256+b]
+					counts[k*256+b] = pos
+					pos += c
+				}
+			}
+			si, dk, di := srcI, dstK, dstI
+			pool.Run(w, func(k int) {
+				lo, hi := k*n/w, (k+1)*n/w
+				c := counts[k*256 : (k+1)*256]
+				for i := lo; i < hi; i++ {
+					key := sk[i]
+					b := (key >> shift) & 0xff
+					j := c[b]
+					c[b]++
+					dk[j] = key
+					di[j] = si[i]
+				}
+			})
+			srcK, dstK = dstK, srcK
+			srcI, dstI = dstI, srcI
 		}
-		if count[(srcK[0]>>shift)&0xff] == n {
-			continue // every key shares this byte; the pass is a no-op
-		}
-		pos := 0
-		for b := 0; b < 256; b++ {
-			c := count[b]
-			count[b] = pos
-			pos += c
-		}
-		for i, k := range srcK {
-			b := (k >> shift) & 0xff
-			j := count[b]
-			count[b]++
-			dstK[j] = k
-			dstI[j] = srcI[i]
-		}
-		srcK, dstK = dstK, srcK
-		srcI, dstI = dstI, srcI
 	}
 	if &srcI[0] != &order[0] {
-		copy(order, srcI)
+		pool.ForRange(workers, n, func(lo, hi int) {
+			copy(order[lo:hi], srcI[lo:hi])
+		})
 	}
 }
 

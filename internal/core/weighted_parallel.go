@@ -14,11 +14,20 @@ import (
 // shifted shortest paths as a multi-source Δ-stepping (Meyer–Sanders) from
 // an implicit super-source with arc lengths δ_max − δ_u.
 //
+// Like the unweighted Partition, the bucket-relaxation rounds are
+// direction-optimizing: Options.Direction selects push (top-down atomic-min
+// relaxation), pull (each unsettled vertex scans its own in-neighborhood
+// over a bit-packed frontier), or per-round Beamer-style auto switching.
+// The shifted distances converge to the same min-plus fixpoint in every
+// mode and parents are resolved from them by a deterministic minimum over
+// packed (distance bits, proposer) keys, so Center, Dist and Parent are
+// bit-identical across directions and worker counts (docs/determinism.md).
+//
 // The decomposition quality matches PartitionWeighted exactly up to
 // floating-point tie events (the assignment minimizes the same shifted
 // distances); the Rounds counter exposes the empirical parallel depth that
 // Section 6 asks about — experiment E15 sweeps it against Δ and the weight
-// distribution.
+// distribution, and E21 sweeps the traversal direction.
 func PartitionWeightedParallel(wg *graph.WeightedGraph, beta float64, delta float64, opts Options) (*WeightedDecomposition, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, ErrBeta
@@ -42,17 +51,19 @@ func PartitionWeightedParallel(wg *graph.WeightedGraph, beta float64, delta floa
 	pool.For(opts.Workers, n, func(v int) {
 		init[v] = d.DeltaMax - d.Shifts[v]
 	})
-	// The bucket-relaxation rounds run on the same persistent pool.
-	res := bfs.DeltaSteppingMultiPool(pool, wg, init, delta, opts.Workers)
+	// The bucket-relaxation rounds run on the same persistent pool, in the
+	// traversal direction the caller selected.
+	res := bfs.DeltaSteppingMultiPoolDir(pool, wg, init, delta, opts.Workers, bfsDirection(opts.Direction))
 	d.Rounds = res.Rounds
 
 	// Every vertex is reached (its own start value is finite). Recover
 	// centers by chasing parents to the forest roots; path lengths are
-	// bounded by the piece radius, so this is cheap.
+	// bounded by the piece radius and the chases are independent, so the
+	// pass is cheap and parallel.
 	d.Parent = res.Parent
-	for v := 0; v < n; v++ {
+	pool.For(opts.Workers, n, func(v int) {
 		d.Center[v] = chaseRoot(res.Parent, uint32(v))
-	}
+	})
 	// Tree distances from the center: shifted distance minus the center's
 	// start offset.
 	pool.For(opts.Workers, n, func(v int) {
@@ -63,6 +74,19 @@ func PartitionWeightedParallel(wg *graph.WeightedGraph, beta float64, delta floa
 		}
 	})
 	return d, nil
+}
+
+// bfsDirection maps the package's Direction option onto the Δ-stepping
+// engine's traversal mode.
+func bfsDirection(d Direction) bfs.Direction {
+	switch d {
+	case DirectionForcePush:
+		return bfs.DirectionPush
+	case DirectionForcePull:
+		return bfs.DirectionPull
+	default:
+		return bfs.DirectionAuto
+	}
 }
 
 // chaseRoot follows parent pointers to the forest root.

@@ -386,14 +386,27 @@ func VertexMap(s *Subset, workers int, f func(uint32)) {
 	parallel.For(workers, len(members), func(i int) { f(members[i]) })
 }
 
-// VertexFilter returns the members for which keep returns true.
+// VertexFilter returns the members for which keep returns true, in member
+// order. It runs on the shared default pool; use VertexFilterPool to pick
+// the pool and worker count. keep may be invoked twice per member and
+// concurrently (the parallel two-pass compaction), so it must be pure and
+// safe for concurrent use.
 func VertexFilter(s *Subset, keep func(uint32) bool) *Subset {
-	var out []uint32
-	for _, v := range s.Vertices() {
-		if keep(v) {
-			out = append(out, v)
-		}
+	return VertexFilterPool(s, keep, Options{})
+}
+
+// VertexFilterPool is VertexFilter on the given pool: the members are
+// compacted with the same two-pass count/scan/copy the frontier rounds
+// use (parallel.FilterUint32), so the output order is identical at every
+// worker count — and keep carries the same purity/concurrency contract.
+// The weighted Δ-stepping engine filters its unsettled pull cohort
+// through the same primitive.
+func VertexFilterPool(s *Subset, keep func(uint32) bool, opts Options) *Subset {
+	pool := opts.Pool
+	if pool == nil {
+		pool = parallel.Default()
 	}
+	out := pool.FilterUint32(opts.Workers, s.Vertices(), keep, nil)
 	return NewSubset(s.n, out)
 }
 

@@ -265,3 +265,36 @@ func BenchmarkFrontierBFSvsLowLevel(b *testing.B) {
 		}
 	})
 }
+
+// TestVertexFilterPoolMatchesSerial checks the pool-backed filter against
+// the serial definition on a subset large enough to take the parallel
+// compaction path, at several worker counts and on an explicit pool.
+func TestVertexFilterPoolMatchesSerial(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	n := 10000
+	ids := make([]uint32, 0, n/2)
+	for v := 0; v < n; v += 2 {
+		ids = append(ids, uint32(v))
+	}
+	s := NewSubset(n, ids)
+	keep := func(v uint32) bool { return v%6 == 0 }
+	var want []uint32
+	for _, v := range ids {
+		if keep(v) {
+			want = append(want, v)
+		}
+	}
+	for _, w := range []int{1, 2, 8} {
+		f := VertexFilterPool(s, keep, Options{Workers: w, Pool: pool})
+		got := f.Vertices()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: kept %d, want %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d]=%d want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}

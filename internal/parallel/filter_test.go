@@ -1,0 +1,56 @@
+package parallel
+
+import (
+	"testing"
+)
+
+// TestFilterUint32MatchesSerial checks the pool filter against the obvious
+// serial loop on sizes straddling the serial cutoff and at several worker
+// counts; order must be preserved and identical everywhere.
+func TestFilterUint32MatchesSerial(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	for _, n := range []int{0, 1, 100, 2047, 2048, 10000} {
+		src := make([]uint32, n)
+		for i := range src {
+			src[i] = uint32((i * 7) % 1000)
+		}
+		keep := func(v uint32) bool { return v%3 == 0 }
+		var want []uint32
+		for _, v := range src {
+			if keep(v) {
+				want = append(want, v)
+			}
+		}
+		for _, w := range []int{1, 2, 8} {
+			got := pool.FilterUint32(w, src, keep, nil)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d workers=%d: got %d kept, want %d", n, w, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: got[%d]=%d want %d", n, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFilterUint32ReusesDst verifies the destination buffer is reused when
+// its capacity suffices (the cohort double-buffering contract).
+func TestFilterUint32ReusesDst(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	src := make([]uint32, 5000)
+	for i := range src {
+		src[i] = uint32(i)
+	}
+	dst := make([]uint32, 0, len(src))
+	out := pool.FilterUint32(4, src, func(v uint32) bool { return v%2 == 0 }, dst)
+	if len(out) != 2500 {
+		t.Fatalf("kept %d, want 2500", len(out))
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Error("dst backing array was not reused despite sufficient capacity")
+	}
+}

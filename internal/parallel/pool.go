@@ -480,6 +480,59 @@ func (p *Pool) PackInto(workers, n int, keep func(i int) bool, dst []uint32) []u
 	return out
 }
 
+// FilterUint32 writes the elements of src for which keep is true into dst
+// (reused when its capacity suffices), preserving src order, and returns
+// the filled slice. Like PackInto it is a two-pass count/scan/copy, so the
+// output is identical at every worker count; keep is therefore invoked
+// twice per element and concurrently from pool workers — it must be pure
+// and safe for concurrent use. src and dst must not overlap.
+func (p *Pool) FilterUint32(workers int, src []uint32, keep func(uint32) bool, dst []uint32) []uint32 {
+	n := len(src)
+	if n == 0 {
+		return dst[:0]
+	}
+	w := Workers(workers, n)
+	if w == 1 || n < serialCutoff {
+		out := dst[:0]
+		for _, v := range src {
+			if keep(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	p = p.orDefault()
+	counts := make([]int64, w)
+	p.Run(w, func(k int) {
+		lo, hi := k*n/w, (k+1)*n/w
+		var c int64
+		for _, v := range src[lo:hi] {
+			if keep(v) {
+				c++
+			}
+		}
+		counts[k] = c
+	})
+	var run int64
+	for k := 0; k < w; k++ {
+		v := counts[k]
+		counts[k] = run
+		run += v
+	}
+	out := GrowUint32(dst, int(run))
+	p.Run(w, func(k int) {
+		lo, hi := k*n/w, (k+1)*n/w
+		pos := counts[k]
+		for _, v := range src[lo:hi] {
+			if keep(v) {
+				out[pos] = v
+				pos++
+			}
+		}
+	})
+	return out
+}
+
 // Concat appends the contents of bufs (in buffer order) to dst with one
 // pre-sized grow, an offset scan, and a parallel per-buffer copy — the
 // scan-based frontier compaction that replaces serial worker-order
