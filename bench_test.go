@@ -481,6 +481,94 @@ func BenchmarkE21WeightedDirection(b *testing.B) {
 	}
 }
 
+// BenchmarkE22Apps sweeps the hierarchy applications — the AKPW low-stretch
+// tree and the Linial–Saks block decomposition, both running on the
+// internal/hier engine — over the grid and gnm families at workers
+// 1/2/4/8, all on the shared process pool.
+func BenchmarkE22Apps(b *testing.B) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+		beta float64
+	}{
+		{"grid", graph.Grid2D(160, 160), 0.2},
+		{"gnm", graph.GNM(30000, 120000, 1), 0.3},
+	}
+	for _, fam := range families {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("lowstretch/%s/workers=%d", fam.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				var levels int
+				for i := 0; i < b.N; i++ {
+					tr, err := lowstretch.BuildPool(benchPool, fam.g, fam.beta, 1, w, core.DirectionAuto)
+					if err != nil {
+						b.Fatal(err)
+					}
+					levels = tr.Levels
+				}
+				b.ReportMetric(float64(levels), "levels")
+			})
+			b.Run(fmt.Sprintf("blocks/%s/workers=%d", fam.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				var nblocks int
+				for i := 0; i < b.N; i++ {
+					bd, err := blocks.DecomposePool(benchPool, fam.g, 0.5, 1, 0, w, core.DirectionAuto)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nblocks = bd.NumBlocks()
+				}
+				b.ReportMetric(float64(nblocks), "blocks")
+			})
+		}
+	}
+}
+
+// maxHierAllocsPerLevel is the allocation-regression gate for E22: one
+// steady-state hierarchy level allocates only its results (the quotient
+// CSR, the quotient map, the annotation table, Partition's output arrays)
+// plus submitted pool closures and Partition's start-time buckets — a
+// bounded count, independent of m. Measured baseline is ~390 allocs/level
+// on the gnm workload; the gate is a hard ceiling with modest headroom.
+// The retired map-based contraction paths (lowstretch's per-level
+// map[key]annEdge rebuild, ContractClusters' map[uint32]uint32 +
+// FromEdgesDedup) allocated O(m) objects per level and blow this gate by
+// two orders of magnitude.
+const maxHierAllocsPerLevel = 600
+
+// BenchmarkE22HierarchyAllocGate measures allocations per hierarchy level
+// across whole low-stretch-tree builds (the deepest engine user: contract
+// mode with edge annotations) and fails the run if the per-level count
+// regresses toward O(m) map churn.
+func BenchmarkE22HierarchyAllocGate(b *testing.B) {
+	g := graph.GNM(30000, 120000, 1)
+	run := func() int {
+		tr, err := lowstretch.BuildPool(benchPool, g, 0.3, 1, 8, core.DirectionAuto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tr.Levels
+	}
+	run() // warm the pool and allocator size classes before measuring
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	b.ReportAllocs()
+	totalLevels := 0
+	for i := 0; i < b.N; i++ {
+		totalLevels += run()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	allocsPerLevel := float64(after.Mallocs-before.Mallocs) / float64(totalLevels)
+	b.ReportMetric(allocsPerLevel, "allocs/level")
+	b.ReportMetric(float64(totalLevels)/float64(b.N), "levels")
+	if allocsPerLevel > maxHierAllocsPerLevel {
+		b.Fatalf("hierarchy levels allocate %.0f objects/level (gate %d): an O(m) per-level rebuild is back",
+			allocsPerLevel, maxHierAllocsPerLevel)
+	}
+}
+
 // BenchmarkExperimentHarness runs the full experiment suite end to end at
 // test scale (integration smoke at benchmark cadence).
 func BenchmarkExperimentHarness(b *testing.B) {
@@ -579,7 +667,7 @@ func BenchmarkE18Connectivity(b *testing.B) {
 	b.Run("ldd-contraction", func(b *testing.B) {
 		var rounds int
 		for i := 0; i < b.N; i++ {
-			r, err := connectivity.ComponentsPool(benchPool, g, 0.4, uint64(i), 0)
+			r, err := connectivity.ComponentsPool(benchPool, g, 0.4, uint64(i), 0, core.DirectionAuto)
 			if err != nil {
 				b.Fatal(err)
 			}

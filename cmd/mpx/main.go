@@ -1,12 +1,15 @@
-// Command mpx runs a low-diameter decomposition on a generated or loaded
-// graph and reports its quality, optionally rendering grid decompositions
-// to PNG.
+// Command mpx runs a low-diameter decomposition — or any of the
+// decomposition-hierarchy applications built on it — on a generated or
+// loaded graph and reports its quality, optionally rendering grid
+// decompositions to PNG.
 //
 // Usage examples:
 //
 //	mpx -gen grid -rows 200 -cols 200 -beta 0.05 -png out.png
 //	mpx -gen gnm -n 100000 -m 400000 -beta 0.1 -algo ballgrow
 //	mpx -in graph.txt -beta 0.02 -seed 7 -validate
+//	mpx -app lowstretch -gen grid -rows 150 -cols 150 -beta 0.2 -workers 8
+//	mpx -app connectivity -gen rmat -scale 15 -m 200000 -beta 0.4 -direction pull
 package main
 
 import (
@@ -14,8 +17,15 @@ import (
 	"fmt"
 	"os"
 
+	"mpx/internal/apps/blocks"
+	"mpx/internal/apps/connectivity"
+	"mpx/internal/apps/embedding"
+	"mpx/internal/apps/lowstretch"
+	"mpx/internal/apps/separator"
+	"mpx/internal/apps/spanner"
 	"mpx/internal/core"
 	"mpx/internal/graph"
+	"mpx/internal/hier"
 	"mpx/internal/parallel"
 	"mpx/internal/render"
 	"mpx/internal/stats"
@@ -34,7 +44,8 @@ func main() {
 		beta      = flag.Float64("beta", 0.1, "decomposition parameter in (0,1)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		algo      = flag.String("algo", "mpx", "algorithm: mpx|seq|exact|ballgrow|iterative|weighted|weighted-par")
+		app       = flag.String("app", "partition", "workload: partition|connectivity|spanner|lowstretch|blocks|separator|embedding")
+		algo      = flag.String("algo", "mpx", "algorithm: mpx|seq|exact|ballgrow|iterative|weighted|weighted-par (partition app only)")
 		wmax      = flag.Float64("wmax", 4, "max edge weight for weighted algorithms (U(1,wmax))")
 		tie       = flag.String("tie", "fractional", "tie-break: fractional|permutation")
 		direction = flag.String("direction", "auto", "partition traversal: auto|push|pull (mpx and weighted-par algorithms)")
@@ -59,6 +70,10 @@ func main() {
 		"mpx": true, "seq": true, "exact": true, "ballgrow": true,
 		"iterative": true, "weighted": true, "weighted-par": true,
 	}
+	validApps := map[string]bool{
+		"partition": true, "connectivity": true, "spanner": true, "lowstretch": true,
+		"blocks": true, "separator": true, "embedding": true,
+	}
 	tieBreak, ok := tieBreaks[*tie]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "mpx: unknown -tie value %q (valid: fractional, permutation)\n", *tie)
@@ -73,6 +88,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mpx: unknown -algo value %q (valid: mpx, seq, exact, ballgrow, iterative, weighted, weighted-par)\n", *algo)
 		os.Exit(2)
 	}
+	if !validApps[*app] {
+		fmt.Fprintf(os.Stderr, "mpx: unknown -app value %q (valid: partition, connectivity, spanner, lowstretch, blocks, separator, embedding)\n", *app)
+		os.Exit(2)
+	}
 
 	g, gridRows, gridCols, err := buildGraph(*in, *dimacs, *gen, *rows, *cols, *n, *m, *scale, *seed)
 	if err != nil {
@@ -84,6 +103,14 @@ func main() {
 	pool := parallel.NewPool(0)
 	defer pool.Close()
 	opts := core.Options{Seed: *seed, Workers: *workers, TieBreak: tieBreak, Direction: dir, Pool: pool}
+
+	if *app != "partition" {
+		if err := runApp(*app, pool, g, *beta, *seed, *workers, dir, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "mpx:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *algo == "weighted" || *algo == "weighted-par" {
 		wg := graph.RandomWeights(g, 1, *wmax, *seed)
@@ -204,6 +231,81 @@ func buildGraph(in string, dimacs bool, gen string, rows, cols, n int, m int64, 
 		return graph.PreferentialAttachment(n, 3, seed), 0, 0, nil
 	default:
 		return nil, 0, 0, fmt.Errorf("unknown generator %q", gen)
+	}
+}
+
+// runApp drives one of the hierarchy applications on the shared process
+// pool, honoring -beta, -seed, -workers and -direction, and prints the
+// per-level hierarchy statistics the internal/hier engine records.
+func runApp(app string, pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction, opts core.Options) error {
+	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	switch app {
+	case "connectivity":
+		r, err := connectivity.ComponentsPool(pool, g, beta, seed, workers, dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("connectivity: components=%d rounds=%d direction=%s\n", r.Components, r.Rounds, dir)
+		printHierStats(r.Stats)
+	case "spanner":
+		s, err := spanner.Build(g, beta, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("spanner: edges=%d keptFrac=%.4f tree=%d bridges=%d direction=%s\n",
+			s.Size(), float64(s.Size())/float64(g.NumEdges()), s.TreeEdges, s.BridgeEdges, dir)
+		d := s.Decomposition
+		printHierStats([]hier.LevelStat{{
+			Level: 0, N: g.NumVertices(), M: g.NumEdges(),
+			Clusters: d.NumClusters(), CutEdges: d.CutEdges(),
+			CutFraction: d.CutFraction(), QuotientN: d.NumClusters(),
+		}})
+	case "lowstretch":
+		tr, err := lowstretch.BuildPool(pool, g, beta, seed, workers, dir)
+		if err != nil {
+			return err
+		}
+		st := tr.Stretch()
+		fmt.Printf("lowstretch: levels=%d treeEdges=%d meanStretch=%.2f maxStretch=%d direction=%s\n",
+			tr.Levels, len(tr.Edges), st.Mean, st.Max, dir)
+		printHierStats(tr.Stats)
+	case "blocks":
+		bd, err := blocks.DecomposePool(pool, g, beta, seed, 0, workers, dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("blocks: blocks=%d edges=%d direction=%s\n", bd.NumBlocks(), bd.EdgeCount(), dir)
+		printHierStats(bd.Stats)
+	case "separator":
+		r, err := separator.FindPool(pool, g, beta, 2.0/3, seed, workers, dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("separator: size=%d |A|=%d |B|=%d balance=%.3f beta=%g pieces=%d direction=%s\n",
+			len(r.Separator), len(r.SideA), len(r.SideB), r.Balance, r.Beta, r.Pieces, dir)
+		printHierStats(r.Stats)
+	case "embedding":
+		tr, err := embedding.BuildPool(pool, g, 0, seed, workers, dir)
+		if err != nil {
+			return err
+		}
+		dist := tr.MeasureDistortion(200, seed)
+		fmt.Printf("embedding: levels=%d meanDistortion=%.2f maxDistortion=%.2f dominatedFrac=%.3f direction=%s\n",
+			tr.Levels, dist.MeanDistortion, dist.MaxDistortion, dist.DominatedFrac, dir)
+		printHierStats(tr.Stats)
+	default:
+		panic("unreachable: -app validated against validApps above")
+	}
+	return nil
+}
+
+// printHierStats reports the hierarchy shape: per level, the graph sizes
+// entering the level, the piece count, the cut fraction passed onward, and
+// the quotient size the next level runs on.
+func printHierStats(stats []hier.LevelStat) {
+	for _, st := range stats {
+		fmt.Printf("level %d: n=%d m=%d clusters=%d cut=%d cutFrac=%.4f -> n'=%d\n",
+			st.Level, st.N, st.M, st.Clusters, st.CutEdges, st.CutFraction, st.QuotientN)
 	}
 }
 

@@ -10,12 +10,18 @@
 // inherit their diameter bound), and passes the cut edges to the next
 // iteration. Since at most half the edges are cut in expectation, the
 // expected number of blocks is O(log m).
+//
+// The iteration is the internal/hier engine's residual mode: every level's
+// Partition, intra/cut classification and residual-graph rebuild execute
+// as pooled kernels on the shared parallel.Pool, and output is
+// bit-identical across worker counts and traversal directions.
 package blocks
 
 import (
 	"mpx/internal/core"
 	"mpx/internal/graph"
-	"mpx/internal/xrand"
+	"mpx/internal/hier"
+	"mpx/internal/parallel"
 )
 
 // Block is one edge class of the decomposition.
@@ -35,57 +41,80 @@ type Decomposition struct {
 	G      *graph.Graph
 	Blocks []Block
 	Beta   float64
+	// Stats summarizes each decomposition level (sizes, clusters, cut).
+	Stats []hier.LevelStat
 }
 
 // Decompose computes a block decomposition of g using β (1/2 gives the
-// classical guarantee) and the given seed. maxIters caps the iteration
-// count defensively; 0 means 4·log2(m)+8.
+// classical guarantee) and the given seed, on the shared default pool.
+// maxIters caps the iteration count defensively; 0 means 4·log2(m)+8.
 func Decompose(g *graph.Graph, beta float64, seed uint64, maxIters int) (*Decomposition, error) {
+	return DecomposePool(nil, g, beta, seed, maxIters, 0, core.DirectionAuto)
+}
+
+// DecomposePool is Decompose on an explicit persistent worker pool (nil
+// means parallel.Default()) with an explicit logical worker count and
+// traversal direction. For a fixed (g, beta, seed) the blocks are
+// bit-identical at every worker count and direction.
+func DecomposePool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, maxIters, workers int, dir core.Direction) (*Decomposition, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
 	bd := &Decomposition{G: g, Beta: beta}
-	remaining := g.Edges()
 	if maxIters <= 0 {
 		maxIters = 8
 		for m := g.NumEdges(); m > 0; m >>= 1 {
 			maxIters += 4
 		}
 	}
-	for iter := 0; iter < maxIters && len(remaining) > 0; iter++ {
-		sub, err := graph.FromEdges(g.NumVertices(), remaining)
-		if err != nil {
-			return nil, err
+	centerSeen := parallel.NewBitset(g.NumVertices())
+	res, err := hier.Run(hier.Config{
+		Beta:      beta,
+		Seed:      seed,
+		Workers:   workers,
+		Pool:      pool,
+		Direction: dir,
+		MaxLevels: maxIters,
+		Residual:  true,
+		NeedIntra: true,
+	}, g, func(lv *hier.Level) error {
+		if len(lv.IntraEdges) == 0 {
+			return nil
 		}
-		d, err := core.Partition(sub, beta, core.Options{Seed: xrand.Mix(seed, uint64(iter))})
-		if err != nil {
-			return nil, err
+		blk := Block{
+			Edges:              append([]graph.Edge(nil), lv.IntraEdges...),
+			MaxComponentRadius: lv.D.MaxRadius(),
+			Clusters:           distinctCenters(pool, workers, lv, centerSeen),
 		}
-		var blk Block
-		var next []graph.Edge
-		for _, e := range remaining {
-			if d.Center[e.U] == d.Center[e.V] {
-				blk.Edges = append(blk.Edges, e)
-			} else {
-				next = append(next, e)
-			}
-		}
-		blk.MaxComponentRadius = d.MaxRadius()
-		// Count clusters that actually contributed an edge to the block.
-		seen := make(map[uint32]struct{})
-		for _, e := range blk.Edges {
-			seen[d.Center[e.U]] = struct{}{}
-		}
-		blk.Clusters = len(seen)
-		if len(blk.Edges) > 0 {
-			bd.Blocks = append(bd.Blocks, blk)
-		}
-		remaining = next
+		bd.Blocks = append(bd.Blocks, blk)
+		return nil
+	})
+	if err == hier.ErrMaxLevels {
+		return nil, core.ErrBeta // β left edges uncovered within the cap; defensive
 	}
-	if len(remaining) > 0 {
-		return nil, core.ErrBeta // unreachable with sane maxIters; defensive
+	if err != nil {
+		return nil, err
 	}
+	bd.Stats = res.Stats
 	return bd, nil
+}
+
+// distinctCenters counts the clusters that contributed an edge to the
+// current block: the number of distinct centers over the intra edges'
+// endpoints. Marking is an idempotent atomic bit set, so the count is
+// deterministic at any worker count.
+func distinctCenters(pool *parallel.Pool, workers int, lv *hier.Level, seen *parallel.Bitset) int {
+	// Bitset.Reset fills on the default pool; route the clear through the
+	// caller's pool like every other kernel here.
+	parallel.FillPool(pool, workers, seen.Words(), 0)
+	intra := lv.IntraEdges
+	center := lv.D.Center
+	return int(pool.ReduceInt64(workers, len(intra), func(i int) int64 {
+		if seen.TrySetAtomic(center[intra[i].U]) {
+			return 1
+		}
+		return 0
+	}))
 }
 
 // NumBlocks returns the number of non-empty blocks.

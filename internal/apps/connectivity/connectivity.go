@@ -15,8 +15,8 @@ import (
 
 	"mpx/internal/core"
 	"mpx/internal/graph"
+	"mpx/internal/hier"
 	"mpx/internal/parallel"
-	"mpx/internal/xrand"
 )
 
 // Result carries component labels and the round structure of the run.
@@ -31,19 +31,24 @@ type Result struct {
 	// EdgesPerRound records the surviving edge count entering each round
 	// (the geometric decay that makes the algorithm work-efficient).
 	EdgesPerRound []int64
+	// Stats summarizes each contraction level (sizes, clusters, cut).
+	Stats []hier.LevelStat
 }
 
 // Components computes connected components via LDD contraction with the
 // given β per round (beta in (0,1); 0.4 is the conventional constant),
 // running on the shared parallel.Default() pool.
 func Components(g *graph.Graph, beta float64, seed uint64, workers int) (*Result, error) {
-	return ComponentsPool(nil, g, beta, seed, workers)
+	return ComponentsPool(nil, g, beta, seed, workers, core.DirectionAuto)
 }
 
 // ComponentsPool is Components on an explicit persistent worker pool (nil
-// means parallel.Default()): the Partition rounds and the relabeling loops
-// all execute on the same pool instance.
-func ComponentsPool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int) (*Result, error) {
+// means parallel.Default()) with an explicit traversal direction: the
+// decompose-and-contract rounds run on the internal/hier engine, so every
+// Partition, the parallel graph.ContractClustersPool contraction, and the
+// original→quotient vertex relabeling all execute on the same pool
+// instance with reused scratch.
+func ComponentsPool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction) (*Result, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
@@ -52,41 +57,30 @@ func ComponentsPool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint
 	if n == 0 {
 		return res, nil
 	}
-	// cur[v] = current super-vertex of original vertex v.
-	cur := make([]uint32, n)
-	for v := range cur {
-		cur[v] = uint32(v)
+	hres, err := hier.Run(hier.Config{
+		Beta:           beta,
+		Seed:           seed,
+		Workers:        workers,
+		Pool:           pool,
+		Direction:      dir,
+		TrackVertexMap: true,
+	}, g, nil)
+	if err == hier.ErrMaxLevels {
+		return nil, errors.New("connectivity: contraction failed to converge")
 	}
-	work := g
-	for round := 0; work.NumEdges() > 0; round++ {
-		if round > 64 {
-			return nil, errors.New("connectivity: contraction failed to converge")
-		}
-		res.EdgesPerRound = append(res.EdgesPerRound, work.NumEdges())
-		d, err := core.Partition(work, beta, core.Options{
-			Seed:    xrand.Mix(seed, uint64(round)),
-			Workers: workers,
-			Pool:    pool,
-		})
-		if err != nil {
-			return nil, err
-		}
-		quotient, quot, err := graph.ContractClusters(work, d.Center)
-		if err != nil {
-			return nil, err
-		}
-		pool.ForRange(workers, n, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				cur[v] = quot[cur[v]]
-			}
-		})
-		work = quotient
-		res.Rounds++
+	if err != nil {
+		return nil, err
+	}
+	res.Rounds = hres.Levels
+	res.Stats = hres.Stats
+	for _, st := range hres.Stats {
+		res.EdgesPerRound = append(res.EdgesPerRound, st.M)
 	}
 	// Canonicalize: label = smallest original vertex per final super-vertex.
 	// Every final super-vertex is one component, so the relabel table is a
 	// plain slice keyed by quotient id — no map churn on the hot exit path.
-	nq := work.NumVertices()
+	cur := hres.OrigMap
+	nq := hres.Final.NumVertices()
 	smallest := make([]uint32, nq)
 	for v := n - 1; v >= 0; v-- {
 		smallest[cur[v]] = uint32(v)

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mpx/internal/core"
 	"mpx/internal/graph"
 )
 
@@ -138,5 +139,44 @@ func TestComponentsEmptyAndEdgeless(t *testing.T) {
 	r, err = Components(iso, 0.4, 0, 1)
 	if err != nil || r.Components != 5 || r.Rounds != 0 {
 		t.Errorf("edgeless: %+v err=%v", r, err)
+	}
+}
+
+// TestComponentsPoolDirectionsBitIdentical: labels, round counts and
+// per-round edge counts must be bit-identical at workers 1/2/8 and under
+// push/pull/auto, like every other hierarchy app.
+func TestComponentsPoolDirectionsBitIdentical(t *testing.T) {
+	gs := map[string]*graph.Graph{
+		"grid": graph.Grid2D(16, 19),
+		"gnm":  graph.GNM(600, 1500, 5),
+	}
+	for name, g := range gs {
+		base, err := ComponentsPool(nil, g, 0.4, 1, 1, core.DirectionForcePush)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatchesBFSLabels(t, g, base)
+		dirs := []core.Direction{core.DirectionForcePush, core.DirectionForcePull, core.DirectionAuto}
+		for _, dir := range dirs {
+			for _, w := range []int{1, 2, 8} {
+				r, err := ComponentsPool(nil, g, 0.4, 1, w, dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Rounds != base.Rounds {
+					t.Fatalf("%s dir=%v workers=%d: rounds %d want %d", name, dir, w, r.Rounds, base.Rounds)
+				}
+				for i := range base.Label {
+					if r.Label[i] != base.Label[i] {
+						t.Fatalf("%s dir=%v workers=%d: Label[%d] differs", name, dir, w, i)
+					}
+				}
+				for i := range base.EdgesPerRound {
+					if r.EdgesPerRound[i] != base.EdgesPerRound[i] {
+						t.Fatalf("%s dir=%v workers=%d: EdgesPerRound[%d] differs", name, dir, w, i)
+					}
+				}
+			}
+		}
 	}
 }

@@ -19,6 +19,8 @@ import (
 	"mpx/internal/bfs"
 	"mpx/internal/core"
 	"mpx/internal/graph"
+	"mpx/internal/hier"
+	"mpx/internal/parallel"
 	"mpx/internal/xrand"
 )
 
@@ -28,6 +30,8 @@ type Tree struct {
 	G *graph.Graph
 	// Levels is the depth of the hierarchy.
 	Levels int
+	// Stats summarizes each decomposition level (sizes, clusters, cut).
+	Stats []hier.LevelStat
 	// parent[l][v] is the piece id (center, in level-l numbering of the
 	// original ids) containing v at level l; level 0 is the coarsest.
 	assignment [][]uint32
@@ -36,8 +40,19 @@ type Tree struct {
 }
 
 // Build constructs the hierarchy with initial diameter target diam0 (pass
-// 0 to use the graph's pseudo-diameter) halving per level.
+// 0 to use the graph's pseudo-diameter) halving per level, on the shared
+// default pool.
 func Build(g *graph.Graph, diam0 float64, seed uint64) (*Tree, error) {
+	return BuildPool(nil, g, diam0, seed, 0, core.DirectionAuto)
+}
+
+// BuildPool is Build on an explicit persistent worker pool (nil means
+// parallel.Default()) with an explicit logical worker count and traversal
+// direction: every level's Partition runs on the pool, and the per-level
+// piece refinement is the hier.RefineAssignment sort-based kernel instead
+// of a composite-key map. For a fixed (g, diam0, seed) the embedding is
+// bit-identical at every worker count and direction.
+func BuildPool(pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, workers int, dir core.Direction) (*Tree, error) {
 	n := g.NumVertices()
 	t := &Tree{G: g}
 	if n == 0 {
@@ -54,37 +69,41 @@ func Build(g *graph.Graph, diam0 float64, seed uint64) (*Tree, error) {
 	// current[v] = piece id of v at the previous level; coarsest level is a
 	// single pseudo-piece per connected component, realized by decomposing
 	// the whole graph with the full diameter target.
+	refineScratch := &hier.RefineScratch{}
 	target := diam0
 	level := 0
 	for target >= 1 {
 		beta := math.Min(0.9, 2*logn/target)
-		d, err := core.Partition(g, beta, core.Options{Seed: xrand.Mix(seed, uint64(level))})
+		d, err := core.Partition(g, beta, core.Options{
+			Seed:      xrand.Mix(seed, uint64(level)),
+			Workers:   workers,
+			Pool:      pool,
+			Direction: dir,
+		})
 		if err != nil {
 			return nil, err
 		}
 		// Refine against the previous level: a piece may not span two
-		// parent pieces, so the effective piece id is the pair (parent
-		// piece, new piece), canonicalized by hashing into the new center
-		// when parents agree and splitting otherwise.
+		// parent pieces, so the effective piece id is the composite key
+		// (parent piece, new center) canonicalized to its smallest member
+		// vertex so ids stay stable.
 		assign := make([]uint32, n)
 		if level == 0 {
-			copy(assign, d.Center)
+			pool.ForRange(workers, n, func(lo, hi int) {
+				copy(assign[lo:hi], d.Center[lo:hi])
+			})
 		} else {
-			prev := t.assignment[level-1]
-			// Composite key (prev piece, new center) -> dense id; the dense
-			// id is the smallest vertex with that key so ids stay stable.
-			type key struct{ a, b uint32 }
-			repr := make(map[key]uint32)
-			for v := 0; v < n; v++ {
-				k := key{prev[v], d.Center[v]}
-				if _, ok := repr[k]; !ok {
-					repr[k] = uint32(v)
-				}
-			}
-			for v := 0; v < n; v++ {
-				assign[v] = repr[key{prev[v], d.Center[v]}]
-			}
+			hier.RefineAssignment(pool, workers, t.assignment[level-1], d.Center, assign, refineScratch)
 		}
+		cut := hier.CutEdgesOnPool(pool, workers, g, d.Center)
+		st := hier.LevelStat{
+			Level: level, N: n, M: g.NumEdges(),
+			Clusters: d.NumClusters(), CutEdges: cut, QuotientN: n,
+		}
+		if st.M > 0 {
+			st.CutFraction = float64(cut) / float64(st.M)
+		}
+		t.Stats = append(t.Stats, st)
 		t.assignment = append(t.assignment, assign)
 		t.length = append(t.length, target)
 		level++

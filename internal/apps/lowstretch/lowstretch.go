@@ -11,6 +11,12 @@
 // O(log n / log(1/β))-ish depth and the resulting tree stretches an average
 // edge by a polylog factor, versus the Θ(diameter) stretch a naive BFS tree
 // can suffer.
+//
+// The decompose-and-contract loop runs on the internal/hier engine: every
+// level's Partition, edge classification and contraction execute on the
+// shared parallel.Pool, tree edges map back to original coordinates
+// through the engine's edge annotations, and output is bit-identical
+// across worker counts and traversal directions.
 package lowstretch
 
 import (
@@ -18,7 +24,8 @@ import (
 
 	"mpx/internal/core"
 	"mpx/internal/graph"
-	"mpx/internal/xrand"
+	"mpx/internal/hier"
+	"mpx/internal/parallel"
 )
 
 // Tree is a spanning forest of the original graph with LCA-based distance
@@ -30,6 +37,8 @@ type Tree struct {
 	Edges []graph.Edge
 	// Levels is the number of decompose-and-contract levels used.
 	Levels int
+	// Stats summarizes each hierarchy level (sizes, clusters, cut).
+	Stats []hier.LevelStat
 
 	depth  []int32
 	order  []int32 // first visit position of each vertex in the Euler tour
@@ -39,101 +48,51 @@ type Tree struct {
 }
 
 // Build constructs a low-stretch spanning forest of g with decomposition
-// parameter beta at every level.
+// parameter beta at every level, on the shared default pool.
 func Build(g *graph.Graph, beta float64, seed uint64) (*Tree, error) {
+	return BuildPool(nil, g, beta, seed, 0, core.DirectionAuto)
+}
+
+// BuildPool is Build on an explicit persistent worker pool (nil means
+// parallel.Default()) with an explicit logical worker count and traversal
+// direction: every level of the decompose-and-contract hierarchy —
+// Partition, edge classification, contraction, annotation — executes on
+// the pool via the internal/hier engine. For a fixed (g, beta, seed) the
+// resulting forest is bit-identical at every worker count and direction.
+func BuildPool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction) (*Tree, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
-	n := g.NumVertices()
 	t := &Tree{G: g}
-	if n == 0 {
+	if g.NumVertices() == 0 {
 		return t, nil
 	}
-
-	// Annotated contracted edge: endpoints in the current contracted graph
-	// plus the original edge it represents.
-	type annEdge struct {
-		u, v         uint32
-		origU, origV uint32
-	}
-	cur := make([]annEdge, 0, g.NumEdges())
-	for _, e := range g.Edges() {
-		cur = append(cur, annEdge{e.U, e.V, e.U, e.V})
-	}
-	curN := n
-
-	for level := 0; ; level++ {
-		if len(cur) == 0 {
-			break
-		}
-		if level > 64 {
-			return nil, errors.New("lowstretch: contraction failed to converge")
-		}
-		// Dedup parallel contracted edges, keeping the first annotation.
-		type key uint64
-		rep := make(map[key]annEdge, len(cur))
-		plain := make([]graph.Edge, 0, len(cur))
-		for _, e := range cur {
-			a, b := e.u, e.v
-			if a == b {
-				continue
-			}
-			if a > b {
-				a, b = b, a
-			}
-			k := key(uint64(a)<<32 | uint64(b))
-			if _, ok := rep[k]; !ok {
-				rep[k] = e
-				plain = append(plain, graph.Edge{U: a, V: b})
-			}
-		}
-		if len(plain) == 0 {
-			break
-		}
-		cg, err := graph.FromEdges(curN, plain)
-		if err != nil {
-			return nil, err
-		}
-		d, err := core.Partition(cg, beta, core.Options{Seed: xrand.Mix(seed, uint64(level))})
-		if err != nil {
-			return nil, err
-		}
-		t.Levels++
+	res, err := hier.Run(hier.Config{
+		Beta:         beta,
+		Seed:         seed,
+		Workers:      workers,
+		Pool:         pool,
+		Direction:    dir,
+		NeedEdgeOrig: true,
+	}, g, func(lv *hier.Level) error {
 		// Per-cluster BFS tree edges -> original tree edges.
-		for v := 0; v < curN; v++ {
-			p := d.Parent[v]
+		for v := 0; v < lv.G.NumVertices(); v++ {
+			p := lv.D.Parent[v]
 			if p == uint32(v) {
 				continue
 			}
-			a, b := p, uint32(v)
-			if a > b {
-				a, b = b, a
-			}
-			e := rep[key(uint64(a)<<32|uint64(b))]
-			t.Edges = append(t.Edges, graph.Edge{U: e.origU, V: e.origV})
+			t.Edges = append(t.Edges, lv.OrigEdge(uint32(v), p))
 		}
-		// Contract: super-vertex per cluster center, dense renumbering.
-		remap := make(map[uint32]uint32)
-		for v := 0; v < curN; v++ {
-			c := d.Center[v]
-			if _, ok := remap[c]; !ok {
-				remap[c] = uint32(len(remap))
-			}
-		}
-		var next []annEdge
-		for _, e := range cur {
-			cu, cv := d.Center[e.u], d.Center[e.v]
-			if cu == cv {
-				continue
-			}
-			next = append(next, annEdge{remap[cu], remap[cv], e.origU, e.origV})
-		}
-		cur = next
-		curN = len(remap)
-		if curN <= 1 {
-			break
-		}
+		return nil
+	})
+	if err == hier.ErrMaxLevels {
+		return nil, errors.New("lowstretch: contraction failed to converge")
 	}
+	if err != nil {
+		return nil, err
+	}
+	t.Levels = res.Levels
+	t.Stats = res.Stats
 	if err := t.index(); err != nil {
 		return nil, err
 	}
@@ -179,11 +138,25 @@ func (t *Tree) index() error {
 	if n == 0 {
 		return nil
 	}
-	adj := make([][]uint32, n)
+	// CSR-style forest adjacency: two flat allocations instead of O(n)
+	// per-vertex append churn (the E22 alloc gate watches this path).
+	offs := make([]int64, n+1)
 	for _, e := range t.Edges {
-		adj[e.U] = append(adj[e.U], e.V)
-		adj[e.V] = append(adj[e.V], e.U)
+		offs[e.U+1]++
+		offs[e.V+1]++
 	}
+	for i := 0; i < n; i++ {
+		offs[i+1] += offs[i]
+	}
+	flat := make([]uint32, offs[n])
+	cursor := make([]int64, n)
+	for _, e := range t.Edges {
+		flat[offs[e.U]+cursor[e.U]] = e.V
+		cursor[e.U]++
+		flat[offs[e.V]+cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	adj := func(v uint32) []uint32 { return flat[offs[v]:offs[v+1]] }
 	t.depth = make([]int32, n)
 	t.order = make([]int32, n)
 	t.comp = make([]int32, n)
@@ -212,8 +185,8 @@ func (t *Tree) index() error {
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			advanced := false
-			for f.next < len(adj[f.v]) {
-				u := adj[f.v][f.next]
+			for f.next < len(adj(f.v)) {
+				u := adj(f.v)[f.next]
 				f.next++
 				if t.order[u] != -1 {
 					continue

@@ -1,0 +1,302 @@
+package graph
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mpx/internal/parallel"
+)
+
+// This file is the parallel contraction layer of the hierarchy engine
+// (internal/hier): ContractClustersPool replaces the map-based
+// ContractClusters + FromEdgesDedup path with slice-based label compaction
+// and a pool radix sort on packed (qu, qv) 64-bit arc keys, and
+// CutSubgraphPool builds the residual graph of cut edges on the same
+// vertex set (the Linial–Saks block iteration). Both construct the CSR
+// directly from the sorted symmetric arc keys, so no per-vertex adjacency
+// sort (and none of its per-vertex closures) runs, and with a reused
+// ContractScratch a steady-state contraction level performs a small
+// constant number of allocations — the result graph and the quotient map
+// — each sized O(cut edges), never O(m) map churn.
+
+// ContractScratch owns every reusable buffer of ContractClustersPool and
+// CutSubgraphPool. A zero value is ready to use; reusing one across the
+// levels of a hierarchy makes steady-state contractions allocate only
+// their results. Buffers are sized to the first (largest) level and shrink
+// logically afterwards.
+type ContractScratch struct {
+	// CutArcs reports, after a ContractClustersPool or CutSubgraphPool
+	// call, the number of directed cut arcs the input graph had (twice the
+	// undirected cut edges, before parallel-edge dedup). The hierarchy
+	// engine reads it for per-level stats instead of re-scanning all arcs.
+	CutArcs int64
+
+	firstPos []uint32 // per label: smallest vertex carrying it
+	qid      []uint32 // per label: dense quotient id
+	firsts   []uint32 // labels' first-carrier vertices, ascending
+	arcKeys  []uint64 // packed (qu, qv) directed cut arcs
+	arcTmp   []uint64 // radix-sort ping-pong + dedup output
+	blockOff []int    // per-worker two-pass offsets
+	counts   []int64  // quotient degree histogram
+}
+
+func (sc *ContractScratch) ensureOff(w int) []int {
+	if cap(sc.blockOff) < w+1 {
+		sc.blockOff = make([]int, w+1)
+	}
+	return sc.blockOff[:w+1]
+}
+
+// minUint32 atomically lowers *addr to v if v is smaller. Minimum is
+// order-independent, so concurrent callers land on a deterministic value.
+func minUint32(addr *uint32, v uint32) {
+	for {
+		old := atomic.LoadUint32(addr)
+		if v >= old {
+			return
+		}
+		if atomic.CompareAndSwapUint32(addr, old, v) {
+			return
+		}
+	}
+}
+
+// ContractClustersPool is ContractClusters executed on a persistent worker
+// pool (nil means parallel.Default()): the quotient graph of the given
+// cluster labels plus the vertex→quotient mapping, bit-identical to the
+// serial ContractClusters — quotient ids are assigned in first-appearance
+// order and the CSR is canonical (sorted adjacency) — at every worker
+// count.
+//
+// Label values must lie in [0, n) (true for every in-repo caller, which
+// passes Decomposition.Center); inputs with out-of-range labels fall back
+// to the serial map-based path, preserving ContractClusters semantics.
+func ContractClustersPool(pool *parallel.Pool, workers int, g *Graph, label []uint32, sc *ContractScratch) (*Graph, []uint32, error) {
+	n := g.NumVertices()
+	if len(label) != n {
+		return nil, nil, fmt.Errorf("graph: label length %d for n=%d", len(label), n)
+	}
+	if n == 0 {
+		if sc != nil {
+			sc.CutArcs = 0
+		}
+		return &Graph{offsets: make([]int64, 1)}, []uint32{}, nil
+	}
+	if sc == nil {
+		sc = &ContractScratch{}
+	}
+	bad := pool.ReduceInt64(workers, n, func(v int) int64 {
+		if int(label[v]) >= n {
+			return 1
+		}
+		return 0
+	})
+	if bad > 0 {
+		sc.CutArcs = pool.ReduceInt64(workers, n, func(v int) int64 {
+			var c int64
+			for _, u := range g.adj[g.offsets[v]:g.offsets[v+1]] {
+				if label[u] != label[v] {
+					c++
+				}
+			}
+			return c
+		})
+		return ContractClusters(g, label)
+	}
+
+	// Dense renumbering in first-appearance order without a map: the
+	// quotient id of a label is its rank among the smallest vertices
+	// carrying each label, which is exactly the order a serial
+	// first-appearance scan assigns.
+	sc.firstPos = parallel.Grow(sc.firstPos, n)
+	firstPos := sc.firstPos
+	parallel.FillPool(pool, workers, firstPos, ^uint32(0))
+	pool.ForRange(workers, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			minUint32(&firstPos[label[v]], uint32(v))
+		}
+	})
+	sc.firsts = pool.PackInto(workers, n, func(v int) bool {
+		return firstPos[label[v]] == uint32(v)
+	}, sc.firsts)
+	firsts := sc.firsts
+	nq := len(firsts)
+	sc.qid = parallel.Grow(sc.qid, n)
+	qid := sc.qid
+	pool.For(workers, nq, func(i int) {
+		qid[label[firsts[i]]] = uint32(i)
+	})
+	quot := make([]uint32, n)
+	pool.ForRange(workers, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			quot[v] = qid[label[v]]
+		}
+	})
+
+	keys := collectCutArcs(pool, workers, g, label, quot, sc)
+	sc.CutArcs = int64(len(keys))
+	sc.arcTmp = parallel.Grow(sc.arcTmp, len(keys))
+	pool.SortUint64(workers, keys, sc.arcTmp)
+	// Parallel contracted edges collapse to runs of equal keys; keep one.
+	arcs := dedupSortedUint64(pool, workers, keys, sc.arcTmp, sc)
+	q, err := csrFromSortedArcs(pool, workers, nq, arcs, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, quot, nil
+}
+
+// CutSubgraphPool returns the graph on the same vertex set containing
+// exactly the edges of g whose endpoints carry different labels — the
+// residual graph the block-decomposition iteration recurses on. The result
+// is bit-identical to FromEdges(n, cutEdges). Unlike contraction, no
+// dedup pass is needed: g is simple, and identity-mapped cut arcs stay
+// distinct.
+func CutSubgraphPool(pool *parallel.Pool, workers int, g *Graph, label []uint32, sc *ContractScratch) (*Graph, error) {
+	n := g.NumVertices()
+	if len(label) != n {
+		return nil, fmt.Errorf("graph: label length %d for n=%d", len(label), n)
+	}
+	if n == 0 {
+		if sc != nil {
+			sc.CutArcs = 0
+		}
+		return &Graph{offsets: make([]int64, 1)}, nil
+	}
+	if sc == nil {
+		sc = &ContractScratch{}
+	}
+	keys := collectCutArcs(pool, workers, g, label, nil, sc)
+	sc.CutArcs = int64(len(keys))
+	sc.arcTmp = parallel.Grow(sc.arcTmp, len(keys))
+	pool.SortUint64(workers, keys, sc.arcTmp)
+	return csrFromSortedArcs(pool, workers, n, keys, sc)
+}
+
+// collectCutArcs gathers the packed key (quot[v]<<32 | quot[u]) — or
+// (v<<32 | u) when quot is nil — for every directed arc (v, u) of g whose
+// endpoints carry different class labels, in (v, adjacency) order. The
+// two-pass layout (per-worker-block counts, serial offset scan, in-order
+// fill) makes the output independent of scheduling.
+func collectCutArcs(pool *parallel.Pool, workers int, g *Graph, class, quot []uint32, sc *ContractScratch) []uint64 {
+	n := g.NumVertices()
+	w := parallel.Workers(workers, n)
+	off := sc.ensureOff(w)
+	offsets, adj := g.offsets, g.adj
+	pool.Run(w, func(k int) {
+		lo, hi := k*n/w, (k+1)*n/w
+		cnt := 0
+		for v := lo; v < hi; v++ {
+			cv := class[v]
+			for _, u := range adj[offsets[v]:offsets[v+1]] {
+				if class[u] != cv {
+					cnt++
+				}
+			}
+		}
+		off[k+1] = cnt
+	})
+	off[0] = 0
+	for k := 1; k <= w; k++ {
+		off[k] += off[k-1]
+	}
+	sc.arcKeys = parallel.Grow(sc.arcKeys, off[w])
+	keys := sc.arcKeys
+	pool.Run(w, func(k int) {
+		lo, hi := k*n/w, (k+1)*n/w
+		pos := off[k]
+		for v := lo; v < hi; v++ {
+			cv := class[v]
+			for _, u := range adj[offsets[v]:offsets[v+1]] {
+				if class[u] == cv {
+					continue
+				}
+				if quot != nil {
+					keys[pos] = uint64(quot[v])<<32 | uint64(quot[u])
+				} else {
+					keys[pos] = uint64(v)<<32 | uint64(u)
+				}
+				pos++
+			}
+		}
+	})
+	return keys
+}
+
+// dedupSortedUint64 compacts runs of equal keys in the sorted input into
+// dst (which must have capacity >= len(keys)) and returns the compacted
+// prefix. Deterministic two-pass compaction, same discipline as the
+// frontier concatenations.
+func dedupSortedUint64(pool *parallel.Pool, workers int, keys, dst []uint64, sc *ContractScratch) []uint64 {
+	m := len(keys)
+	if m == 0 {
+		return dst[:0]
+	}
+	w := parallel.Workers(workers, m)
+	off := sc.ensureOff(w)
+	pool.Run(w, func(k int) {
+		lo, hi := k*m/w, (k+1)*m/w
+		cnt := 0
+		for i := lo; i < hi; i++ {
+			if i == 0 || keys[i] != keys[i-1] {
+				cnt++
+			}
+		}
+		off[k+1] = cnt
+	})
+	off[0] = 0
+	for k := 1; k <= w; k++ {
+		off[k] += off[k-1]
+	}
+	out := dst[:off[w]]
+	pool.Run(w, func(k int) {
+		lo, hi := k*m/w, (k+1)*m/w
+		pos := off[k]
+		for i := lo; i < hi; i++ {
+			if i == 0 || keys[i] != keys[i-1] {
+				out[pos] = keys[i]
+				pos++
+			}
+		}
+	})
+	return out
+}
+
+// csrFromSortedArcs builds the canonical CSR graph on nq vertices whose
+// directed arc list is exactly the given sorted, deduplicated packed keys.
+// Because the keys are sorted by (source, target), the adjacency array is
+// simply the low halves in order and every neighbor list comes out sorted
+// — no per-vertex sort pass. The two result slices are the only
+// allocations.
+func csrFromSortedArcs(pool *parallel.Pool, workers int, nq int, arcs []uint64, sc *ContractScratch) (*Graph, error) {
+	sc.counts = parallel.Grow(sc.counts, nq)
+	counts := sc.counts
+	parallel.FillPool(pool, workers, counts, 0)
+	var bad int32
+	pool.ForRange(workers, len(arcs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := arcs[i] >> 32
+			if int(src) >= nq || int(uint32(arcs[i])) >= nq {
+				atomic.StoreInt32(&bad, 1)
+				continue
+			}
+			atomic.AddInt64(&counts[src], 1)
+		}
+	})
+	if bad != 0 {
+		return nil, ErrVertexRange
+	}
+	offs := make([]int64, nq+1)
+	pool.ForRange(workers, nq, func(lo, hi int) {
+		copy(offs[lo:hi], counts[lo:hi])
+	})
+	total := pool.ExclusiveScan(workers, offs[:nq])
+	offs[nq] = total
+	adjOut := make([]uint32, len(arcs))
+	pool.ForRange(workers, len(arcs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			adjOut[i] = uint32(arcs[i])
+		}
+	})
+	return &Graph{offsets: offs, adj: adjOut}, nil
+}

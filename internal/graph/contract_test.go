@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpx/internal/parallel"
+)
+
+func contractTestGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	return map[string]*Graph{
+		"grid":     Grid2D(40, 55),
+		"gnm":      GNM(3000, 12000, 9),
+		"powerlaw": RMAT(11, 8000, 4),
+		"path":     Path(500),
+		"star":     star(t, 300),
+		"edgeless": mustFromEdges(t, 64, nil),
+		"empty":    mustFromEdges(t, 0, nil),
+	}
+}
+
+func star(t *testing.T, n int) *Graph {
+	t.Helper()
+	edges := make([]Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{0, uint32(v)})
+	}
+	return mustFromEdges(t, n, edges)
+}
+
+func mustFromEdges(t *testing.T, n int, edges []Edge) *Graph {
+	t.Helper()
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// clusterishLabels mimics decomposition output: pick k random "centers"
+// and label every vertex with a random center id, so labels repeat, skip
+// values, and appear in scattered first-appearance order.
+func clusterishLabels(n, k int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	if k < 1 {
+		k = 1
+	}
+	centers := make([]uint32, k)
+	for i := range centers {
+		centers[i] = uint32(rng.Intn(n))
+	}
+	label := make([]uint32, n)
+	for v := range label {
+		label[v] = centers[rng.Intn(k)]
+	}
+	return label
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || len(a.adj) != len(b.adj) {
+		return false
+	}
+	for i := range a.offsets {
+		if a.offsets[i] != b.offsets[i] {
+			return false
+		}
+	}
+	for i := range a.adj {
+		if a.adj[i] != b.adj[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestContractClustersPoolMatchesSerial is the bit-identity property test
+// gating the parallel contraction primitive: on every workload family, for
+// several label assignments and at workers 1/2/8, ContractClustersPool
+// must produce exactly the quotient CSR and vertex mapping of the serial
+// map-based ContractClusters, with and without a reused scratch.
+func TestContractClustersPoolMatchesSerial(t *testing.T) {
+	sc := &ContractScratch{}
+	for name, g := range contractTestGraphs(t) {
+		n := g.NumVertices()
+		for trial := 0; trial < 4; trial++ {
+			var label []uint32
+			if n > 0 {
+				label = clusterishLabels(n, 1+n/(10*(trial+1)), int64(trial)*7+3)
+			} else {
+				label = []uint32{}
+			}
+			want, wantQuot, err := ContractClusters(g, label)
+			if err != nil {
+				t.Fatalf("%s: serial: %v", name, err)
+			}
+			for _, w := range []int{1, 2, 8} {
+				for _, scratch := range []*ContractScratch{nil, sc} {
+					got, gotQuot, err := ContractClustersPool(nil, w, g, label, scratch)
+					if err != nil {
+						t.Fatalf("%s workers=%d: %v", name, w, err)
+					}
+					if !graphsEqual(want, got) {
+						t.Fatalf("%s trial=%d workers=%d: quotient CSR differs from serial (%v vs %v)",
+							name, trial, w, got, want)
+					}
+					if len(gotQuot) != len(wantQuot) {
+						t.Fatalf("%s workers=%d: quot length %d want %d", name, w, len(gotQuot), len(wantQuot))
+					}
+					for v := range wantQuot {
+						if gotQuot[v] != wantQuot[v] {
+							t.Fatalf("%s trial=%d workers=%d: quot[%d]=%d want %d",
+								name, trial, w, v, gotQuot[v], wantQuot[v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestContractClustersPoolOutOfRangeFallback checks that labels outside
+// [0, n) — legal for the serial primitive — fall back to identical serial
+// semantics instead of corrupting the slice-compaction path.
+func TestContractClustersPoolOutOfRangeFallback(t *testing.T) {
+	g := Grid2D(8, 9)
+	n := g.NumVertices()
+	label := make([]uint32, n)
+	for v := range label {
+		label[v] = uint32(1<<20 + v/7*13)
+	}
+	want, wantQuot, err := ContractClusters(g, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotQuot, err := ContractClustersPool(nil, 4, g, label, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(want, got) {
+		t.Fatalf("fallback quotient differs: %v want %v", got, want)
+	}
+	for v := range wantQuot {
+		if gotQuot[v] != wantQuot[v] {
+			t.Fatalf("fallback quot[%d]=%d want %d", v, gotQuot[v], wantQuot[v])
+		}
+	}
+}
+
+// TestCutSubgraphPoolMatchesFromEdges checks the residual-graph builder
+// against the serial reference: filter the edge list by label inequality
+// and rebuild with FromEdges.
+func TestCutSubgraphPoolMatchesFromEdges(t *testing.T) {
+	sc := &ContractScratch{}
+	for name, g := range contractTestGraphs(t) {
+		n := g.NumVertices()
+		var label []uint32
+		if n > 0 {
+			label = clusterishLabels(n, 1+n/8, 17)
+		} else {
+			label = []uint32{}
+		}
+		var cut []Edge
+		for _, e := range g.Edges() {
+			if label[e.U] != label[e.V] {
+				cut = append(cut, e)
+			}
+		}
+		want := mustFromEdges(t, n, cut)
+		for _, w := range []int{1, 2, 8} {
+			got, err := CutSubgraphPool(nil, w, g, label, sc)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			if !graphsEqual(want, got) {
+				t.Fatalf("%s workers=%d: residual CSR differs from FromEdges (%v vs %v)", name, w, got, want)
+			}
+		}
+	}
+}
+
+// TestContractClustersPoolSteadyAllocs pins the allocation contract: with
+// a warmed scratch, one contraction allocates only its results (quotient
+// offsets + adjacency + quot map and a handful of pool closures), never
+// O(m) map or append churn.
+func TestContractClustersPoolSteadyAllocs(t *testing.T) {
+	g := GNM(4000, 16000, 5)
+	label := clusterishLabels(g.NumVertices(), 300, 21)
+	sc := &ContractScratch{}
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	if _, _, err := ContractClustersPool(pool, 4, g, label, sc); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, _, err := ContractClustersPool(pool, 4, g, label, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Results (3 slices) plus submitted loop closures and the radix sort's
+	// per-call histograms (~44 measured); the map path costs thousands here.
+	if avg > 64 {
+		t.Fatalf("steady-state contraction allocates %.1f objects, want <= 64", avg)
+	}
+}

@@ -1,0 +1,535 @@
+// Package hier is the parallel decompose-and-contract hierarchy engine:
+// the recursive driver behind every multi-level application of the paper's
+// Partition (AKPW-style low-stretch trees, Linial–Saks blocks, LDD
+// connectivity, tree-metric embeddings, separators).
+//
+// Each level runs core.Partition on the shared parallel.Pool, classifies
+// edges intra/cut with pooled kernels, and either contracts clusters into
+// super-vertices (graph.ContractClustersPool — slice-based label
+// compaction plus a pool radix sort on packed (qu, qv) keys) or keeps the
+// vertex set and recurses on the residual cut subgraph
+// (graph.CutSubgraphPool — the Linial–Saks iteration). The engine
+// maintains original↔quotient vertex and edge mappings across levels and
+// reuses every piece of scratch, so a steady-state level allocates a small
+// constant number of objects sized O(cut edges) — never the O(m) per-level
+// map rebuilds the serial app loops paid.
+//
+// Output is deterministic: Partition is bit-identical across worker counts
+// and traversal directions, contraction and classification are
+// deterministic pooled kernels, and the per-level seeds are derived by
+// xrand.Mix(seed, level) — so every application built on the engine
+// inherits bit-identical output at workers 1/2/8 × push/pull/auto. See
+// docs/determinism.md.
+package hier
+
+import (
+	"errors"
+	"sort"
+
+	"mpx/internal/core"
+	"mpx/internal/graph"
+	"mpx/internal/parallel"
+	"mpx/internal/xrand"
+)
+
+// ErrMaxLevels reports a hierarchy that did not converge (run out of edges
+// or vertices) within Config.MaxLevels levels.
+var ErrMaxLevels = errors.New("hier: hierarchy failed to converge within MaxLevels")
+
+// Config configures a hierarchy run. The zero value decomposes with
+// BetaAt/Beta unset, which is invalid — callers must set Beta or BetaAt.
+type Config struct {
+	// Beta is the per-level decomposition parameter (used when BetaAt is
+	// nil).
+	Beta float64
+	// BetaAt, when non-nil, supplies a per-level β schedule (the embedding
+	// halves its diameter target per level, for example).
+	BetaAt func(level int, g *graph.Graph) float64
+	// Seed fixes all randomness; level l decomposes with
+	// xrand.Mix(Seed, l).
+	Seed uint64
+	// Workers caps logical parallelism of every kernel (<= 0 means
+	// GOMAXPROCS), exactly as core.Options.Workers.
+	Workers int
+	// Pool is the persistent worker pool every level executes on; nil
+	// means parallel.Default().
+	Pool *parallel.Pool
+	// Direction, TieBreak and ShiftSource are forwarded to every
+	// Partition call.
+	Direction   core.Direction
+	TieBreak    core.TieBreak
+	ShiftSource core.ShiftSource
+	// MaxLevels caps the level count defensively; 0 means 64.
+	MaxLevels int
+	// Residual keeps the vertex set fixed and recurses on the cut-edge
+	// subgraph (Linial–Saks blocks) instead of contracting clusters.
+	Residual bool
+	// TrackVertexMap maintains Result.OrigMap, the composition of the
+	// per-level quotient maps (original vertex → final super-vertex).
+	TrackVertexMap bool
+	// NeedEdgeOrig maintains per-level original-edge annotations so
+	// Level.OrigEdge can map any current edge back to an original edge
+	// (low-stretch trees emit tree edges in original coordinates).
+	NeedEdgeOrig bool
+	// NeedIntra collects each level's intra-cluster edges (in original
+	// coordinates when annotations are tracked) into Level.IntraEdges —
+	// the block decomposition's per-level edge class.
+	NeedIntra bool
+}
+
+func (c Config) maxLevels() int {
+	if c.MaxLevels > 0 {
+		return c.MaxLevels
+	}
+	return 64
+}
+
+func (c Config) betaAt(level int, g *graph.Graph) float64 {
+	if c.BetaAt != nil {
+		return c.BetaAt(level, g)
+	}
+	return c.Beta
+}
+
+// LevelStat summarizes one hierarchy level for reporting (cmd/mpx -app
+// prints these).
+type LevelStat struct {
+	Level       int
+	N           int   // vertices entering the level
+	M           int64 // edges entering the level
+	Clusters    int   // decomposition pieces
+	CutEdges    int64 // edges crossing pieces
+	CutFraction float64
+	QuotientN   int // vertices of the next level's graph
+}
+
+// Level is the per-level view handed to the visit callback. Slices alias
+// engine scratch unless noted and are valid only during the callback.
+type Level struct {
+	// Index is the level number, 0 for the original graph.
+	Index int
+	// G is the graph decomposed at this level (the original graph at
+	// level 0, a quotient or residual graph afterwards).
+	G *graph.Graph
+	// D is the decomposition of G.
+	D *core.Decomposition
+	// Quot maps each vertex of G to its super-vertex in the next level's
+	// graph (contract mode; nil in residual mode). Retained by the caller
+	// freely — it is not scratch.
+	Quot []uint32
+	// NumQuot is the next level's vertex count.
+	NumQuot int
+	// IntraEdges are this level's intra-cluster edges in original
+	// coordinates (Config.NeedIntra; aliases scratch — copy to retain).
+	IntraEdges []graph.Edge
+
+	eng  *Engine
+	orig []graph.Edge // annotation per canonical edge rank of G; nil = identity
+}
+
+// OrigEdge returns the original-graph edge represented by the edge {a, b}
+// of this level's graph. {a, b} must be an edge of Level.G. Requires
+// Config.NeedEdgeOrig (level 0 works regardless: edges are their own
+// originals).
+func (lv *Level) OrigEdge(a, b uint32) graph.Edge {
+	if a > b {
+		a, b = b, a
+	}
+	if lv.orig == nil {
+		return graph.Edge{U: a, V: b}
+	}
+	return lv.orig[lv.eng.edgeRank(lv.G, a, b)]
+}
+
+// Result is the outcome of a full hierarchy run.
+type Result struct {
+	// Levels is the number of decomposition levels executed.
+	Levels int
+	// Stats holds one entry per level.
+	Stats []LevelStat
+	// Final is the fully contracted (or fully residual) graph the run
+	// stopped on: it has no edges unless the run errored.
+	Final *graph.Graph
+	// OrigMap maps each original vertex to its vertex in Final
+	// (Config.TrackVertexMap, contract mode).
+	OrigMap []uint32
+}
+
+// Engine owns the reusable scratch of a hierarchy run. One engine may run
+// many hierarchies; scratch persists across runs and levels.
+type Engine struct {
+	cfg Config
+	sc  graph.ContractScratch
+
+	// Edge-annotation scratch (NeedEdgeOrig / NeedIntra).
+	cutKeys  []uint64
+	cutVals  []uint32
+	keyTmp   []uint64
+	valTmp   []uint32
+	cutOrig  []graph.Edge
+	intra    []graph.Edge
+	rankBase []int
+	cutBase  []int
+
+	// OrigEdge rank tables for the current level's graph.
+	upperOff   []int64
+	firstUpper []int32
+	rankFor    *graph.Graph
+}
+
+// New returns an engine for the given configuration.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// Run executes a full hierarchy with a fresh engine; see Engine.Run.
+func Run(cfg Config, g *graph.Graph, visit func(*Level) error) (*Result, error) {
+	return New(cfg).Run(g, visit)
+}
+
+// Run drives the hierarchy over g, invoking visit (which may be nil) once
+// per level after that level's decomposition and contraction are complete.
+// It stops when the current graph has no edges, returning ErrMaxLevels
+// (with partial Result) if the cap is hit first, and propagates any error
+// from Partition or visit.
+func (e *Engine) Run(g *graph.Graph, visit func(*Level) error) (*Result, error) {
+	cfg := e.cfg
+	pool := cfg.Pool
+	res := &Result{}
+	n0 := g.NumVertices()
+	if cfg.TrackVertexMap {
+		res.OrigMap = make([]uint32, n0)
+		pool.ForRange(cfg.Workers, n0, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				res.OrigMap[v] = uint32(v)
+			}
+		})
+	}
+	cur := g
+	var orig []graph.Edge
+	e.rankFor = nil
+	for level := 0; cur.NumEdges() > 0; level++ {
+		if level >= cfg.maxLevels() {
+			res.Final = cur
+			return res, ErrMaxLevels
+		}
+		d, err := core.Partition(cur, cfg.betaAt(level, cur), core.Options{
+			Seed:        xrand.Mix(cfg.Seed, uint64(level)),
+			Workers:     cfg.Workers,
+			Pool:        pool,
+			TieBreak:    cfg.TieBreak,
+			ShiftSource: cfg.ShiftSource,
+			Direction:   cfg.Direction,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n := cur.NumVertices()
+		center := d.Center
+		lv := Level{Index: level, G: cur, D: d, eng: e, orig: orig}
+
+		// Classification + next level. Contract mode renumbers through the
+		// quotient map; residual mode keeps vertex ids and drops intra
+		// edges.
+		var next *graph.Graph
+		var nextOrig []graph.Edge
+		if cfg.Residual {
+			next, err = graph.CutSubgraphPool(pool, cfg.Workers, cur, center, &e.sc)
+			if err != nil {
+				return nil, err
+			}
+			lv.NumQuot = n
+		} else {
+			var quot []uint32
+			next, quot, err = graph.ContractClustersPool(pool, cfg.Workers, cur, center, &e.sc)
+			if err != nil {
+				return nil, err
+			}
+			lv.Quot = quot
+			lv.NumQuot = next.NumVertices()
+			if cfg.NeedEdgeOrig {
+				nextOrig = e.annotateContraction(cur, orig, center, quot, next)
+			}
+		}
+		if cfg.NeedIntra {
+			lv.IntraEdges = e.collectIntra(cur, orig, center)
+		}
+		if cfg.NeedEdgeOrig && orig != nil {
+			e.buildRank(cur)
+		}
+
+		// The contraction/residual rebuild already walked every arc and
+		// recorded the cut-arc count; no second O(m) stats sweep.
+		stat := LevelStat{
+			Level:     level,
+			N:         n,
+			M:         cur.NumEdges(),
+			CutEdges:  e.sc.CutArcs / 2,
+			QuotientN: lv.NumQuot,
+		}
+		stat.Clusters = int(pool.ReduceInt64(cfg.Workers, n, func(v int) int64 {
+			if center[v] == uint32(v) {
+				return 1
+			}
+			return 0
+		}))
+		if stat.M > 0 {
+			stat.CutFraction = float64(stat.CutEdges) / float64(stat.M)
+		}
+
+		if visit != nil {
+			if err := visit(&lv); err != nil {
+				return nil, err
+			}
+		}
+		res.Stats = append(res.Stats, stat)
+		res.Levels++
+		if cfg.TrackVertexMap && !cfg.Residual {
+			quot := lv.Quot
+			pool.ForRange(cfg.Workers, n0, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					res.OrigMap[v] = quot[res.OrigMap[v]]
+				}
+			})
+		}
+		cur = next
+		orig = nextOrig
+	}
+	res.Final = cur
+	return res, nil
+}
+
+// CutEdgesOnPool counts the undirected edges of g whose endpoints carry
+// different labels, reducing on the given pool (Decomposition.
+// CutEdgesParallel reduces on the default pool, which would bypass an
+// explicit pool). Shared by the engine's per-level stats and the
+// single-level applications (separator, embedding).
+func CutEdgesOnPool(pool *parallel.Pool, workers int, g *graph.Graph, center []uint32) int64 {
+	offsets := g.Offsets()
+	adj := g.Adjacency()
+	arcs := pool.ReduceInt64(workers, g.NumVertices(), func(v int) int64 {
+		cv := center[v]
+		var c int64
+		for i := offsets[v]; i < offsets[v+1]; i++ {
+			if center[adj[i]] != cv {
+				c++
+			}
+		}
+		return c
+	})
+	return arcs / 2
+}
+
+// annotateContraction computes the next level's original-edge annotations:
+// for every edge of the quotient graph (in canonical (U, V) order), the
+// annotation of the first cut edge of cur — in cur's canonical edge order
+// — that contracts onto it. "First" is realized by a stable pool radix
+// sort on the packed quotient-pair keys, so the choice is deterministic at
+// every worker count.
+func (e *Engine) annotateContraction(cur *graph.Graph, orig []graph.Edge, center, quot []uint32, next *graph.Graph) []graph.Edge {
+	pool := e.cfg.Pool
+	workers := e.cfg.Workers
+	n := cur.NumVertices()
+	w := parallel.Workers(workers, n)
+	e.rankBase = parallel.Grow(e.rankBase, w+1)
+	e.cutBase = parallel.Grow(e.cutBase, w+1)
+	rankBase, cutBase := e.rankBase, e.cutBase
+	offsets, adjacency := cur.Offsets(), cur.Adjacency()
+	// Pass 1: per block, count upper arcs (canonical edge ranks) and cut
+	// edges among them.
+	pool.Run(w, func(k int) {
+		lo, hi := k*n/w, (k+1)*n/w
+		upper, cut := 0, 0
+		for v := lo; v < hi; v++ {
+			cv := center[v]
+			for _, u := range adjacency[offsets[v]:offsets[v+1]] {
+				if u <= uint32(v) {
+					continue
+				}
+				upper++
+				if center[u] != cv {
+					cut++
+				}
+			}
+		}
+		rankBase[k+1] = upper
+		cutBase[k+1] = cut
+	})
+	rankBase[0], cutBase[0] = 0, 0
+	for k := 1; k <= w; k++ {
+		rankBase[k] += rankBase[k-1]
+		cutBase[k] += cutBase[k-1]
+	}
+	c := cutBase[w]
+	e.cutKeys = parallel.Grow(e.cutKeys, c)
+	e.cutVals = parallel.Grow(e.cutVals, c)
+	e.cutOrig = parallel.Grow(e.cutOrig, c)
+	cutKeys, cutVals, cutOrig := e.cutKeys, e.cutVals, e.cutOrig
+	// Pass 2: emit each cut edge's quotient-pair key and its original-edge
+	// annotation; the running upper-arc counter is exactly cur's canonical
+	// edge rank, which indexes the current annotation table.
+	pool.Run(w, func(k int) {
+		lo, hi := k*n/w, (k+1)*n/w
+		rank := rankBase[k]
+		pos := cutBase[k]
+		for v := lo; v < hi; v++ {
+			cv := center[v]
+			for _, u := range adjacency[offsets[v]:offsets[v+1]] {
+				if u <= uint32(v) {
+					continue
+				}
+				if center[u] != cv {
+					qa, qb := quot[v], quot[u]
+					if qa > qb {
+						qa, qb = qb, qa
+					}
+					cutKeys[pos] = uint64(qa)<<32 | uint64(qb)
+					if orig == nil {
+						cutOrig[pos] = graph.Edge{U: uint32(v), V: u}
+					} else {
+						cutOrig[pos] = orig[rank]
+					}
+					cutVals[pos] = uint32(pos)
+					pos++
+				}
+				rank++
+			}
+		}
+	})
+	e.keyTmp = parallel.Grow(e.keyTmp, c)
+	e.valTmp = parallel.Grow(e.valTmp, c)
+	pool.SortPairs(workers, cutKeys[:c], cutVals[:c], e.keyTmp, e.valTmp)
+
+	// Runs of equal keys are the quotient edges in canonical order; the
+	// stable sort put the first-collected (lowest current-edge-rank) cut
+	// edge at each run's head. The dedup passes split the cut-edge range,
+	// whose worker count can exceed the vertex-based w on dense tail
+	// levels (c > n), so the offsets buffer is re-grown for wc.
+	nextOrig := make([]graph.Edge, next.NumEdges())
+	wc := parallel.Workers(workers, c)
+	e.rankBase = parallel.Grow(e.rankBase, wc+1)
+	dedupBase := e.rankBase
+	pool.Run(wc, func(k int) {
+		lo, hi := k*c/wc, (k+1)*c/wc
+		cnt := 0
+		for i := lo; i < hi; i++ {
+			if i == 0 || cutKeys[i] != cutKeys[i-1] {
+				cnt++
+			}
+		}
+		dedupBase[k+1] = cnt
+	})
+	dedupBase[0] = 0
+	for k := 1; k <= wc; k++ {
+		dedupBase[k] += dedupBase[k-1]
+	}
+	if dedupBase[wc] != len(nextOrig) {
+		panic("hier: quotient edge count mismatch between contraction and annotation")
+	}
+	pool.Run(wc, func(k int) {
+		lo, hi := k*c/wc, (k+1)*c/wc
+		pos := dedupBase[k]
+		for i := lo; i < hi; i++ {
+			if i == 0 || cutKeys[i] != cutKeys[i-1] {
+				nextOrig[pos] = cutOrig[cutVals[i]]
+				pos++
+			}
+		}
+	})
+	return nextOrig
+}
+
+// collectIntra gathers the intra-cluster edges of cur in canonical order,
+// mapped to original coordinates through the current annotation table.
+func (e *Engine) collectIntra(cur *graph.Graph, orig []graph.Edge, center []uint32) []graph.Edge {
+	pool := e.cfg.Pool
+	workers := e.cfg.Workers
+	n := cur.NumVertices()
+	w := parallel.Workers(workers, n)
+	e.rankBase = parallel.Grow(e.rankBase, w+1)
+	e.cutBase = parallel.Grow(e.cutBase, w+1)
+	rankBase, intraBase := e.rankBase, e.cutBase
+	offsets, adjacency := cur.Offsets(), cur.Adjacency()
+	pool.Run(w, func(k int) {
+		lo, hi := k*n/w, (k+1)*n/w
+		upper, intra := 0, 0
+		for v := lo; v < hi; v++ {
+			cv := center[v]
+			for _, u := range adjacency[offsets[v]:offsets[v+1]] {
+				if u <= uint32(v) {
+					continue
+				}
+				upper++
+				if center[u] == cv {
+					intra++
+				}
+			}
+		}
+		rankBase[k+1] = upper
+		intraBase[k+1] = intra
+	})
+	rankBase[0], intraBase[0] = 0, 0
+	for k := 1; k <= w; k++ {
+		rankBase[k] += rankBase[k-1]
+		intraBase[k] += intraBase[k-1]
+	}
+	e.intra = parallel.Grow(e.intra, intraBase[w])
+	intra := e.intra
+	pool.Run(w, func(k int) {
+		lo, hi := k*n/w, (k+1)*n/w
+		rank := rankBase[k]
+		pos := intraBase[k]
+		for v := lo; v < hi; v++ {
+			cv := center[v]
+			for _, u := range adjacency[offsets[v]:offsets[v+1]] {
+				if u <= uint32(v) {
+					continue
+				}
+				if center[u] == cv {
+					if orig == nil {
+						intra[pos] = graph.Edge{U: uint32(v), V: u}
+					} else {
+						intra[pos] = orig[rank]
+					}
+					pos++
+				}
+				rank++
+			}
+		}
+	})
+	return intra
+}
+
+// buildRank prepares the upper-triangular edge-rank tables OrigEdge
+// queries against: upperOff[v] is the canonical rank of v's first upper
+// edge and firstUpper[v] the adjacency index of v's first neighbor > v.
+func (e *Engine) buildRank(g *graph.Graph) {
+	if e.rankFor == g {
+		return
+	}
+	pool := e.cfg.Pool
+	workers := e.cfg.Workers
+	n := g.NumVertices()
+	e.upperOff = parallel.Grow(e.upperOff, n)
+	e.firstUpper = parallel.Grow(e.firstUpper, n)
+	upperOff, firstUpper := e.upperOff, e.firstUpper
+	pool.For(workers, n, func(v int) {
+		nb := g.Neighbors(uint32(v))
+		i := sort.Search(len(nb), func(i int) bool { return nb[i] > uint32(v) })
+		firstUpper[v] = int32(i)
+		upperOff[v] = int64(len(nb) - i)
+	})
+	pool.ExclusiveScan(workers, upperOff[:n])
+	e.rankFor = g
+}
+
+// edgeRank returns the canonical rank of edge {a, b} (a < b) of g.
+func (e *Engine) edgeRank(g *graph.Graph, a, b uint32) int {
+	if e.rankFor != g {
+		panic("hier: OrigEdge called outside its level's visit callback")
+	}
+	nb := g.Neighbors(a)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= b })
+	if i == len(nb) || nb[i] != b {
+		panic("hier: OrigEdge on a non-edge")
+	}
+	return int(e.upperOff[a]) + i - int(e.firstUpper[a])
+}

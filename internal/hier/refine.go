@@ -1,0 +1,64 @@
+package hier
+
+import (
+	"mpx/internal/parallel"
+)
+
+// RefineScratch owns the buffers RefineAssignment reuses across levels.
+type RefineScratch struct {
+	keys   []uint64
+	ids    []uint32
+	keyTmp []uint64
+	idTmp  []uint32
+	bounds []uint32
+}
+
+// RefineAssignment intersects two piece assignments: assign[v] becomes the
+// smallest vertex u with (prev[u], cur[u]) == (prev[v], cur[v]). This is
+// the hierarchical-embedding refinement step — a piece of the new
+// decomposition may not span two parent pieces, so the effective piece id
+// is the canonical representative of the composite key — computed with a
+// stable pool radix sort over packed (prev, cur) keys instead of a
+// per-level map. Deterministic at every worker count; assign may alias
+// neither prev nor cur.
+func RefineAssignment(pool *parallel.Pool, workers int, prev, cur, assign []uint32, sc *RefineScratch) {
+	n := len(prev)
+	if len(cur) != n || len(assign) != n {
+		panic("hier: RefineAssignment length mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	if sc == nil {
+		sc = &RefineScratch{}
+	}
+	sc.keys = parallel.Grow(sc.keys, n)
+	sc.ids = parallel.Grow(sc.ids, n)
+	sc.keyTmp = parallel.Grow(sc.keyTmp, n)
+	sc.idTmp = parallel.Grow(sc.idTmp, n)
+	keys, ids := sc.keys, sc.ids
+	pool.ForRange(workers, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			keys[v] = uint64(prev[v])<<32 | uint64(cur[v])
+			ids[v] = uint32(v)
+		}
+	})
+	// Stable sort of ascending ids → within each run of equal keys the
+	// ids stay ascending, so each run's head is its smallest member.
+	pool.SortPairs(workers, keys, ids, sc.keyTmp, sc.idTmp)
+	sc.bounds = pool.PackInto(workers, n, func(i int) bool {
+		return i == 0 || keys[i] != keys[i-1]
+	}, sc.bounds)
+	bounds := sc.bounds
+	pool.For(workers, len(bounds), func(r int) {
+		lo := int(bounds[r])
+		hi := n
+		if r+1 < len(bounds) {
+			hi = int(bounds[r+1])
+		}
+		leader := ids[lo]
+		for i := lo; i < hi; i++ {
+			assign[ids[i]] = leader
+		}
+	})
+}
