@@ -569,6 +569,94 @@ func BenchmarkE22HierarchyAllocGate(b *testing.B) {
 	}
 }
 
+// maxWeightedHierAllocsPerLevel is the allocation-regression gate for the
+// WEIGHTED hierarchy: one steady-state weighted level allocates its
+// results (the weighted quotient CSR including the summed-weight array,
+// the quotient map, the annotation table, the weighted partition's output
+// and Δ-stepping buckets) plus submitted pool closures — a bounded count,
+// independent of m. Measured baseline is ~160 allocs/level on the gnm
+// workload; the gate is a hard ceiling with modest headroom. A per-level
+// O(m) rebuild (e.g. a map-based weight merge in the contraction) blows it
+// by orders of magnitude.
+const maxWeightedHierAllocsPerLevel = 400
+
+// BenchmarkE22WeightedHierarchyAllocGate is the weighted twin of the E22
+// gate: allocations per hierarchy level across whole AKPW weighted
+// low-stretch builds (weighted engine, contract mode, edge annotations,
+// weight-class schedules), failing the run on regression toward O(m)
+// per-level churn.
+func BenchmarkE22WeightedHierarchyAllocGate(b *testing.B) {
+	g := graph.GNM(30000, 120000, 1)
+	wg := graph.RandomWeights(g, 1, 8, 2)
+	run := func() int {
+		tr, err := lowstretch.BuildWeightedPool(benchPool, wg, 0.3, 1, 8, core.DirectionAuto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tr.Levels
+	}
+	run() // warm the pool and allocator size classes before measuring
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	b.ReportAllocs()
+	totalLevels := 0
+	for i := 0; i < b.N; i++ {
+		totalLevels += run()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	allocsPerLevel := float64(after.Mallocs-before.Mallocs) / float64(totalLevels)
+	b.ReportMetric(allocsPerLevel, "allocs/level")
+	b.ReportMetric(float64(totalLevels)/float64(b.N), "levels")
+	if allocsPerLevel > maxWeightedHierAllocsPerLevel {
+		b.Fatalf("weighted hierarchy levels allocate %.0f objects/level (gate %d): an O(m) per-level rebuild is back",
+			allocsPerLevel, maxWeightedHierAllocsPerLevel)
+	}
+}
+
+// BenchmarkE22WeightedApps sweeps the weighted hierarchy applications —
+// the true AKPW tree and the weighted block decomposition — over the
+// weighted grid and gnm families at workers 1/2/4/8.
+func BenchmarkE22WeightedApps(b *testing.B) {
+	families := []struct {
+		name string
+		wg   *graph.WeightedGraph
+		beta float64
+	}{
+		{"grid", graph.RandomWeights(graph.Grid2D(160, 160), 1, 8, 3), 0.2},
+		{"gnm", graph.RandomWeights(graph.GNM(30000, 120000, 1), 1, 8, 3), 0.3},
+	}
+	for _, fam := range families {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("lowstretch/%s/workers=%d", fam.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				var levels int
+				for i := 0; i < b.N; i++ {
+					tr, err := lowstretch.BuildWeightedPool(benchPool, fam.wg, fam.beta, 1, w, core.DirectionAuto)
+					if err != nil {
+						b.Fatal(err)
+					}
+					levels = tr.Levels
+				}
+				b.ReportMetric(float64(levels), "levels")
+			})
+			b.Run(fmt.Sprintf("blocks/%s/workers=%d", fam.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				var nblocks int
+				for i := 0; i < b.N; i++ {
+					bd, err := blocks.DecomposeWeightedPool(benchPool, fam.wg, 0.5, 1, 0, w, core.DirectionAuto)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nblocks = bd.NumBlocks()
+				}
+				b.ReportMetric(float64(nblocks), "blocks")
+			})
+		}
+	}
+}
+
 // BenchmarkExperimentHarness runs the full experiment suite end to end at
 // test scale (integration smoke at benchmark cadence).
 func BenchmarkExperimentHarness(b *testing.B) {

@@ -47,6 +47,7 @@ func main() {
 		app       = flag.String("app", "partition", "workload: partition|connectivity|spanner|lowstretch|blocks|separator|embedding")
 		algo      = flag.String("algo", "mpx", "algorithm: mpx|seq|exact|ballgrow|iterative|weighted|weighted-par (partition app only)")
 		wmax      = flag.Float64("wmax", 4, "max edge weight for weighted algorithms (U(1,wmax))")
+		weighted  = flag.Bool("weighted", false, "run the hierarchy app on a weighted graph: U(1,wmax) random weights, or the file's arc weights with -in -dimacs (lowstretch|blocks|embedding)")
 		tie       = flag.String("tie", "fractional", "tie-break: fractional|permutation")
 		direction = flag.String("direction", "auto", "partition traversal: auto|push|pull (mpx and weighted-par algorithms)")
 		pngPath   = flag.String("png", "", "write cluster coloring PNG (grid generators only)")
@@ -91,6 +92,30 @@ func main() {
 	if !validApps[*app] {
 		fmt.Fprintf(os.Stderr, "mpx: unknown -app value %q (valid: partition, connectivity, spanner, lowstretch, blocks, separator, embedding)\n", *app)
 		os.Exit(2)
+	}
+	// -weighted must never be dropped silently: the partition app selects
+	// its weighted algorithms via -algo.
+	if *weighted && *app == "partition" {
+		fmt.Fprintln(os.Stderr, "mpx: -weighted applies to hierarchy apps (lowstretch, blocks, embedding); for -app partition use -algo weighted or weighted-par")
+		os.Exit(2)
+	}
+
+	// Weighted hierarchy apps build their graph once (a weighted DIMACS
+	// file is parsed a single time, weights included) and run before the
+	// unweighted path.
+	if *weighted {
+		wg, err := loadWeightedGraph(*in, *dimacs, *gen, *rows, *cols, *n, *m, *scale, *wmax, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpx:", err)
+			os.Exit(1)
+		}
+		pool := parallel.NewPool(0)
+		defer pool.Close()
+		if err := runWeightedApp(*app, pool, wg, *beta, *seed, *workers, dir, *wmax, *in != "" && *dimacs); err != nil {
+			fmt.Fprintln(os.Stderr, "mpx:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	g, gridRows, gridCols, err := buildGraph(*in, *dimacs, *gen, *rows, *cols, *n, *m, *scale, *seed)
@@ -234,6 +259,71 @@ func buildGraph(in string, dimacs bool, gen string, rows, cols, n int, m int64, 
 	}
 }
 
+// loadWeightedGraph builds the weighted input in one pass: a weighted
+// DIMACS file keeps its arc weights (parsed exactly once); every other
+// source builds the unweighted graph and lifts it with deterministic
+// U(1, wmax) weights from the seed.
+func loadWeightedGraph(in string, dimacs bool, gen string, rows, cols, n int, m int64, scale int, wmax float64, seed uint64) (*graph.WeightedGraph, error) {
+	if in != "" && dimacs {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadDIMACSWeighted(f)
+	}
+	if wmax < 1 {
+		return nil, fmt.Errorf("-wmax must be >= 1, got %g", wmax)
+	}
+	g, _, _, err := buildGraph(in, dimacs, gen, rows, cols, n, m, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return graph.RandomWeights(g, 1, wmax, seed), nil
+}
+
+// runWeightedApp drives the weighted variant of a hierarchy application —
+// the true AKPW low-stretch tree, the weighted Linial–Saks blocks, or the
+// weighted tree-metric embedding — printing the per-level weighted
+// hierarchy statistics.
+func runWeightedApp(app string, pool *parallel.Pool, wg *graph.WeightedGraph, beta float64, seed uint64, workers int, dir core.Direction, wmax float64, fromFile bool) error {
+	if fromFile {
+		fmt.Printf("graph: n=%d m=%d (weighted input)\n", wg.NumVertices(), wg.NumEdges())
+	} else {
+		fmt.Printf("graph: n=%d m=%d (weights U(1,%g))\n", wg.NumVertices(), wg.NumEdges(), wmax)
+	}
+	switch app {
+	case "lowstretch":
+		tr, err := lowstretch.BuildWeightedPool(pool, wg, beta, seed, workers, dir)
+		if err != nil {
+			return err
+		}
+		st := tr.Stretch()
+		fmt.Printf("lowstretch: levels=%d classes=%d treeEdges=%d meanStretch=%.2f maxStretch=%.2f direction=%s\n",
+			tr.Levels, len(tr.ClassHistogram), len(tr.Edges), st.Mean, st.Max, dir)
+		printHierStats(tr.Stats)
+	case "blocks":
+		bd, err := blocks.DecomposeWeightedPool(pool, wg, beta, seed, 0, workers, dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("blocks: blocks=%d edges=%d direction=%s\n", bd.NumBlocks(), bd.EdgeCount(), dir)
+		printHierStats(bd.Stats)
+	case "embedding":
+		tr, err := embedding.BuildWeightedPool(pool, wg, 0, seed, workers, dir)
+		if err != nil {
+			return err
+		}
+		dist := tr.MeasureDistortion(200, seed)
+		fmt.Printf("embedding: levels=%d meanDistortion=%.2f maxDistortion=%.2f dominatedFrac=%.3f direction=%s\n",
+			tr.Levels, dist.MeanDistortion, dist.MaxDistortion, dist.DominatedFrac, dir)
+		printHierStats(tr.Stats)
+	default:
+		return fmt.Errorf("-weighted supports apps lowstretch, blocks and embedding (got %q)", app)
+	}
+	return nil
+}
+
 // runApp drives one of the hierarchy applications on the shared process
 // pool, honoring -beta, -seed, -workers and -direction, and prints the
 // per-level hierarchy statistics the internal/hier engine records.
@@ -301,9 +391,16 @@ func runApp(app string, pool *parallel.Pool, g *graph.Graph, beta float64, seed 
 
 // printHierStats reports the hierarchy shape: per level, the graph sizes
 // entering the level, the piece count, the cut fraction passed onward, and
-// the quotient size the next level runs on.
+// the quotient size the next level runs on. Weighted levels add the weight
+// structure (total and cut weight, weighted radius, Δ-stepping rounds).
 func printHierStats(stats []hier.LevelStat) {
 	for _, st := range stats {
+		if st.Weighted {
+			fmt.Printf("level %d: n=%d m=%d clusters=%d cut=%d cutFrac=%.4f totalW=%.3g cutW=%.3g cutWFrac=%.4f maxR=%.2f rounds=%d -> n'=%d\n",
+				st.Level, st.N, st.M, st.Clusters, st.CutEdges, st.CutFraction,
+				st.TotalWeight, st.CutWeight, st.CutWeightFraction, st.WMaxRadius, st.Rounds, st.QuotientN)
+			continue
+		}
 		fmt.Printf("level %d: n=%d m=%d clusters=%d cut=%d cutFrac=%.4f -> n'=%d\n",
 			st.Level, st.N, st.M, st.Clusters, st.CutEdges, st.CutFraction, st.QuotientN)
 	}

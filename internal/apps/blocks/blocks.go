@@ -84,7 +84,7 @@ func DecomposePool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint6
 		blk := Block{
 			Edges:              append([]graph.Edge(nil), lv.IntraEdges...),
 			MaxComponentRadius: lv.D.MaxRadius(),
-			Clusters:           distinctCenters(pool, workers, lv, centerSeen),
+			Clusters:           distinctCenters(pool, workers, lv.IntraEdges, lv.D.Center, centerSeen),
 		}
 		bd.Blocks = append(bd.Blocks, blk)
 		return nil
@@ -103,12 +103,10 @@ func DecomposePool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint6
 // current block: the number of distinct centers over the intra edges'
 // endpoints. Marking is an idempotent atomic bit set, so the count is
 // deterministic at any worker count.
-func distinctCenters(pool *parallel.Pool, workers int, lv *hier.Level, seen *parallel.Bitset) int {
+func distinctCenters(pool *parallel.Pool, workers int, intra []graph.Edge, center []uint32, seen *parallel.Bitset) int {
 	// Bitset.Reset fills on the default pool; route the clear through the
 	// caller's pool like every other kernel here.
 	parallel.FillPool(pool, workers, seen.Words(), 0)
-	intra := lv.IntraEdges
-	center := lv.D.Center
 	return int(pool.ReduceInt64(workers, len(intra), func(i int) int64 {
 		if seen.TrySetAtomic(center[intra[i].U]) {
 			return 1

@@ -162,7 +162,10 @@ type DistortionStats struct {
 }
 
 // MeasureDistortion samples vertex pairs within one component and compares
-// tree distance to true graph distance.
+// tree distance to true graph distance. The sample budget is bounded by
+// attempts, so sparse or disconnected graphs — where most sampled pairs
+// are unreachable — return however many pairs were found instead of
+// spinning (an edgeless graph used to hang here).
 func (t *Tree) MeasureDistortion(pairs int, seed uint64) DistortionStats {
 	n := t.G.NumVertices()
 	if n < 2 || pairs <= 0 {
@@ -172,7 +175,7 @@ func (t *Tree) MeasureDistortion(pairs int, seed uint64) DistortionStats {
 	var st DistortionStats
 	var sum float64
 	dominated := 0
-	for st.Pairs < pairs {
+	for attempts := 0; st.Pairs < pairs && attempts < 4*pairs; attempts += 8 {
 		u := uint32(rng.Intn(n))
 		dist := bfs.Sequential(t.G, u)
 		// Sample a handful of targets per BFS to amortize its cost.
@@ -193,6 +196,9 @@ func (t *Tree) MeasureDistortion(pairs int, seed uint64) DistortionStats {
 			}
 			st.Pairs++
 		}
+	}
+	if st.Pairs == 0 {
+		return st
 	}
 	st.MeanDistortion = sum / float64(st.Pairs)
 	st.DominatedFrac = float64(dominated) / float64(st.Pairs)

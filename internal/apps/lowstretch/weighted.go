@@ -1,0 +1,378 @@
+package lowstretch
+
+// This file is the true AKPW construction the unweighted Build
+// approximates: Alon–Karp–Peleg–West low-stretch spanning trees of
+// WEIGHTED graphs. AKPW is fundamentally a weighted scheme — edges are
+// bucketed into geometric weight classes and the graph is contracted level
+// by level at a geometrically growing distance scale, so each level's
+// decomposition clusters the edges of the next class while heavier classes
+// ride along as cut edges. Here the bucketing feeds the weighted hierarchy
+// engine directly: the class histogram fixes the level count, the per-level
+// β schedule shrinks geometrically with the class scale (β_l in units of
+// inverse weighted distance), and the Δ-stepping bucket width rides the
+// same schedule. Every level runs core.PartitionWeightedParallel; each
+// cluster's shortest-path tree lands in the forest mapped back to original
+// edges through the engine's annotations; clusters contract with summed
+// edge weights (graph.ContractWeightedClustersPool).
+
+import (
+	"errors"
+	"math"
+
+	"mpx/internal/core"
+	"mpx/internal/graph"
+	"mpx/internal/hier"
+	"mpx/internal/parallel"
+)
+
+// akpwClassGrowth is the geometric growth factor y of the AKPW weight
+// classes: class c holds edges with weight in [wmin·y^c, wmin·y^(c+1)),
+// and level l of the hierarchy clusters at distance scale wmin·y^l/β.
+const akpwClassGrowth = 4.0
+
+// WeightedTree is a spanning forest of a weighted graph with O(1) LCA and
+// weighted tree-distance queries.
+type WeightedTree struct {
+	// G is the original weighted graph.
+	G *graph.WeightedGraph
+	// Edges are the tree edges with their original weights.
+	Edges []graph.WeightedEdge
+	// Levels is the number of decompose-and-contract levels used.
+	Levels int
+	// Stats summarizes each hierarchy level, including the weighted
+	// per-level fields.
+	Stats []hier.LevelStat
+	// ClassHistogram counts the original edges per AKPW weight class
+	// (class c = weights in [MinWeight·y^c, MinWeight·y^(c+1)), y = 4).
+	ClassHistogram []int64
+	// MinWeight is the lightest edge weight, the base of the class scale.
+	MinWeight float64
+
+	depth  []int32
+	wdepth []float64 // weighted depth from the component root
+	order  []int32
+	euler  []uint32
+	sparse [][]uint32
+	comp   []int32
+}
+
+// BuildWeighted constructs an AKPW low-stretch spanning forest of wg on
+// the shared default pool; see BuildWeightedPool.
+func BuildWeighted(wg *graph.WeightedGraph, beta float64, seed uint64) (*WeightedTree, error) {
+	return BuildWeightedPool(nil, wg, beta, seed, 0, core.DirectionAuto)
+}
+
+// BuildWeightedPool constructs an AKPW low-stretch spanning forest of wg
+// with base decomposition parameter beta, on an explicit persistent worker
+// pool (nil means parallel.Default()) with an explicit logical worker
+// count and traversal direction. beta is interpreted at the lightest
+// weight class: level l decomposes with β_l = beta/(wmin·y^l) (clamped
+// into the valid (0, 1) range), so cluster radii grow by the class factor
+// y per level — the AKPW progression. For a fixed (wg, beta, seed) the
+// forest is bit-identical at every worker count and direction.
+func BuildWeightedPool(pool *parallel.Pool, wg *graph.WeightedGraph, beta float64, seed uint64, workers int, dir core.Direction) (*WeightedTree, error) {
+	if beta <= 0 || beta >= 1 {
+		return nil, core.ErrBeta
+	}
+	t := &WeightedTree{G: wg}
+	n := wg.NumVertices()
+	if n == 0 {
+		return t, nil
+	}
+	if wg.NumEdges() == 0 {
+		return t, t.index()
+	}
+
+	// Weight-class bucketing: per-vertex min/max reduce, then a pooled
+	// per-class histogram over the upper arcs. The histogram pins the class
+	// count, which bounds the level count the schedule needs.
+	wmin, wmax := hier.WeightRangeOnPool(pool, workers, wg)
+	t.MinWeight = wmin
+	numClasses := 1
+	if wmax > wmin {
+		numClasses = int(math.Floor(math.Log(wmax/wmin)/math.Log(akpwClassGrowth))) + 1
+	}
+	t.ClassHistogram = classHistogramOnPool(pool, workers, wg, wmin, numClasses)
+
+	// Levels: enough to walk every class plus the O(log n) contraction tail
+	// within the final class.
+	maxLevels := numClasses + 1
+	for m := int64(n); m > 0; m >>= 1 {
+		maxLevels += 2
+	}
+	maxLevels += 16
+
+	res, err := hier.RunWeighted(hier.Config{
+		WBetaAt: func(level int, _ *graph.WeightedGraph) float64 {
+			return clampBeta(beta / (wmin * math.Pow(akpwClassGrowth, float64(level))))
+		},
+		// Δ follows the level scale: bucket width = mean shift = 1/β_l.
+		Seed:         seed,
+		Workers:      workers,
+		Pool:         pool,
+		Direction:    dir,
+		MaxLevels:    maxLevels,
+		NeedEdgeOrig: true,
+	}, wg, func(lv *hier.Level) error {
+		// Per-cluster shortest-path-tree edges -> original tree edges.
+		for v := 0; v < lv.G.NumVertices(); v++ {
+			p := lv.WD.Parent[v]
+			if p == uint32(v) {
+				continue
+			}
+			e := lv.OrigEdge(uint32(v), p)
+			w, ok := wg.Weight(e.U, e.V)
+			if !ok {
+				return errors.New("lowstretch: annotation produced a non-edge")
+			}
+			t.Edges = append(t.Edges, graph.WeightedEdge{U: e.U, V: e.V, W: w})
+		}
+		return nil
+	})
+	if err == hier.ErrMaxLevels {
+		return nil, errors.New("lowstretch: weighted contraction failed to converge")
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.Levels = res.Levels
+	t.Stats = res.Stats
+	return t, t.index()
+}
+
+// clampBeta forces a schedule value into PartitionWeightedParallel's valid
+// open interval: huge scales clamp to a near-1 β (singleton-ish clusters,
+// the level passes the class through), tiny ones to a floor that still
+// yields one giant cluster.
+func clampBeta(b float64) float64 {
+	const lo, hi = 1e-12, 0.95
+	if b > hi {
+		return hi
+	}
+	if b < lo {
+		return lo
+	}
+	return b
+}
+
+// classHistogramOnPool counts undirected edges per weight class with a
+// per-worker histogram merge in (class, worker) order — deterministic
+// integer sums.
+func classHistogramOnPool(pool *parallel.Pool, workers int, wg *graph.WeightedGraph, wmin float64, numClasses int) []int64 {
+	n := wg.NumVertices()
+	w := parallel.Workers(workers, n)
+	local := make([]int64, w*numClasses)
+	logY := math.Log(akpwClassGrowth)
+	pool.Run(w, func(k int) {
+		lo, hi := k*n/w, (k+1)*n/w
+		h := local[k*numClasses : (k+1)*numClasses]
+		for v := lo; v < hi; v++ {
+			nbrs, ws := wg.Neighbors(uint32(v))
+			for i, u := range nbrs {
+				if uint32(v) >= u {
+					continue
+				}
+				c := 0
+				if ws[i] > wmin {
+					c = int(math.Floor(math.Log(ws[i]/wmin) / logY))
+				}
+				if c >= numClasses {
+					c = numClasses - 1
+				}
+				h[c]++
+			}
+		}
+	})
+	hist := make([]int64, numClasses)
+	for k := 0; k < w; k++ {
+		for c := 0; c < numClasses; c++ {
+			hist[c] += local[k*numClasses+c]
+		}
+	}
+	return hist
+}
+
+// index builds depth arrays (hop and weighted), the Euler tour and the
+// sparse table for O(1) LCA queries, and verifies the edge set is a
+// spanning forest.
+func (t *WeightedTree) index() error {
+	n := t.G.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	// CSR-style forest adjacency with aligned weights.
+	offs := make([]int64, n+1)
+	for _, e := range t.Edges {
+		offs[e.U+1]++
+		offs[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		offs[i+1] += offs[i]
+	}
+	flat := make([]uint32, offs[n])
+	flatW := make([]float64, offs[n])
+	cursor := make([]int64, n)
+	for _, e := range t.Edges {
+		flat[offs[e.U]+cursor[e.U]] = e.V
+		flatW[offs[e.U]+cursor[e.U]] = e.W
+		cursor[e.U]++
+		flat[offs[e.V]+cursor[e.V]] = e.U
+		flatW[offs[e.V]+cursor[e.V]] = e.W
+		cursor[e.V]++
+	}
+	t.depth = make([]int32, n)
+	t.wdepth = make([]float64, n)
+	t.order = make([]int32, n)
+	t.comp = make([]int32, n)
+	for i := range t.order {
+		t.order[i] = -1
+		t.comp[i] = -1
+	}
+	t.euler = t.euler[:0]
+	comp := int32(0)
+	type frame struct {
+		v    uint32
+		next int
+	}
+	for root := 0; root < n; root++ {
+		if t.order[root] != -1 {
+			continue
+		}
+		stack := []frame{{uint32(root), 0}}
+		t.depth[root] = 0
+		t.wdepth[root] = 0
+		t.comp[root] = comp
+		t.order[root] = int32(len(t.euler))
+		t.euler = append(t.euler, uint32(root))
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.next < int(offs[f.v+1]-offs[f.v]) {
+				i := offs[f.v] + int64(f.next)
+				u := flat[i]
+				f.next++
+				if t.order[u] != -1 {
+					continue
+				}
+				t.depth[u] = t.depth[f.v] + 1
+				t.wdepth[u] = t.wdepth[f.v] + flatW[i]
+				t.comp[u] = comp
+				t.order[u] = int32(len(t.euler))
+				t.euler = append(t.euler, u)
+				stack = append(stack, frame{u, 0})
+				advanced = true
+				break
+			}
+			if !advanced {
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					t.euler = append(t.euler, stack[len(stack)-1].v)
+				}
+			}
+		}
+		comp++
+	}
+	// The DFS loop starts from every still-unvisited vertex, so every
+	// vertex is reached by construction; the forest invariant is the edge
+	// count per component (acyclic + spanning).
+	if len(t.Edges) != n-int(comp) {
+		return errors.New("lowstretch: weighted edge set is not a spanning forest")
+	}
+	t.buildSparse()
+	return nil
+}
+
+func (t *WeightedTree) buildSparse() {
+	m := len(t.euler)
+	if m == 0 {
+		return
+	}
+	levels := 1
+	for 1<<levels <= m {
+		levels++
+	}
+	t.sparse = make([][]uint32, levels)
+	t.sparse[0] = make([]uint32, m)
+	copy(t.sparse[0], t.euler)
+	for k := 1; k < levels; k++ {
+		span := 1 << k
+		row := make([]uint32, m-span+1)
+		prev := t.sparse[k-1]
+		for i := range row {
+			a, b := prev[i], prev[i+span/2]
+			if t.depth[a] <= t.depth[b] {
+				row[i] = a
+			} else {
+				row[i] = b
+			}
+		}
+		t.sparse[k] = row
+	}
+}
+
+// LCA returns the lowest common ancestor of u and v, which must lie in the
+// same component.
+func (t *WeightedTree) LCA(u, v uint32) uint32 {
+	a, b := t.order[u], t.order[v]
+	if a > b {
+		a, b = b, a
+	}
+	span := int(b - a + 1)
+	k := 0
+	for 1<<(k+1) <= span {
+		k++
+	}
+	x, y := t.sparse[k][a], t.sparse[k][int(b)-(1<<k)+1]
+	if t.depth[x] <= t.depth[y] {
+		return x
+	}
+	return y
+}
+
+// Dist returns the weighted tree distance between u and v, or -1 if they
+// lie in different components.
+func (t *WeightedTree) Dist(u, v uint32) float64 {
+	if t.comp[u] != t.comp[v] {
+		return -1
+	}
+	l := t.LCA(u, v)
+	return t.wdepth[u] + t.wdepth[v] - 2*t.wdepth[l]
+}
+
+// WeightedStretchStats summarizes edge stretch over the whole edge set:
+// for every original edge {u, v} of weight w, its stretch is the weighted
+// tree distance divided by w.
+type WeightedStretchStats struct {
+	Edges int64
+	Mean  float64
+	Max   float64
+	Total float64
+}
+
+// Stretch computes exact weighted stretch statistics over every original
+// edge using O(1) LCA queries.
+func (t *WeightedTree) Stretch() WeightedStretchStats {
+	var st WeightedStretchStats
+	for v := 0; v < t.G.NumVertices(); v++ {
+		nbrs, ws := t.G.Neighbors(uint32(v))
+		for i, u := range nbrs {
+			if uint32(v) >= u {
+				continue
+			}
+			d := t.Dist(uint32(v), u)
+			if d < 0 {
+				continue // different components cannot happen for real edges
+			}
+			s := d / ws[i]
+			st.Edges++
+			st.Total += s
+			if s > st.Max {
+				st.Max = s
+			}
+		}
+	}
+	if st.Edges > 0 {
+		st.Mean = st.Total / float64(st.Edges)
+	}
+	return st
+}

@@ -158,7 +158,17 @@ func PCG(l *Laplacian, ts *TreeSolver, b []float64, tol float64, maxIter int) ([
 }
 
 func pcg(l *Laplacian, b []float64, tol float64, maxIter int, pre *TreeSolver) ([]float64, Result) {
-	n := l.Dim()
+	var solve func(r, z []float64)
+	if pre != nil {
+		solve = pre.Solve
+	}
+	return pcgOp(l.Apply, l.Dim(), b, tol, maxIter, solve)
+}
+
+// pcgOp is the operator-generic PCG kernel shared by the unweighted and
+// weighted Laplacians: apply computes out = L·x and pre (nil for plain CG)
+// solves the preconditioner system into z.
+func pcgOp(apply func(x, out []float64), n int, b []float64, tol float64, maxIter int, pre func(r, z []float64)) ([]float64, Result) {
 	x := make([]float64, n)
 	if n == 0 {
 		return x, Result{Converged: true}
@@ -185,7 +195,7 @@ func pcg(l *Laplacian, b []float64, tol float64, maxIter int, pre *TreeSolver) (
 		if pre == nil {
 			copy(z, r)
 		} else {
-			pre.Solve(r, z)
+			pre(r, z)
 		}
 	}
 	applyPre()
@@ -199,7 +209,7 @@ func pcg(l *Laplacian, b []float64, tol float64, maxIter int, pre *TreeSolver) (
 			res.Converged = true
 			break
 		}
-		l.Apply(p, lp)
+		apply(p, lp)
 		plp := dot(p, lp)
 		if plp <= 0 {
 			break // numerical breakdown (p in nullspace)

@@ -38,6 +38,12 @@ type ContractScratch struct {
 	arcTmp   []uint64 // radix-sort ping-pong + dedup output
 	blockOff []int    // per-worker two-pass offsets
 	counts   []int64  // quotient degree histogram
+
+	// Weighted-contraction extensions (ContractWeightedClustersPool,
+	// CutWeightedSubgraphPool).
+	arcW   []float64 // per collected cut arc: its weight, in collection order
+	arcPos []uint32  // collection positions riding the stable radix sort
+	posTmp []uint32  // SortPairs value scratch
 }
 
 func (sc *ContractScratch) ensureOff(w int) []int {
@@ -104,10 +110,28 @@ func ContractClustersPool(pool *parallel.Pool, workers int, g *Graph, label []ui
 		return ContractClusters(g, label)
 	}
 
-	// Dense renumbering in first-appearance order without a map: the
-	// quotient id of a label is its rank among the smallest vertices
-	// carrying each label, which is exactly the order a serial
-	// first-appearance scan assigns.
+	quot, nq := compactLabelsPool(pool, workers, n, label, sc)
+
+	keys := collectCutArcs(pool, workers, g, label, quot, sc)
+	sc.CutArcs = int64(len(keys))
+	sc.arcTmp = parallel.Grow(sc.arcTmp, len(keys))
+	pool.SortUint64(workers, keys, sc.arcTmp)
+	// Parallel contracted edges collapse to runs of equal keys; keep one.
+	arcs := dedupSortedUint64(pool, workers, keys, sc.arcTmp, sc)
+	q, err := csrFromSortedArcs(pool, workers, nq, arcs, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, quot, nil
+}
+
+// compactLabelsPool densely renumbers the label values in first-appearance
+// order without a map: the quotient id of a label is its rank among the
+// smallest vertices carrying each label, which is exactly the order a
+// serial first-appearance scan assigns. It returns the freshly allocated
+// vertex→quotient map and the quotient vertex count. Labels must lie in
+// [0, n).
+func compactLabelsPool(pool *parallel.Pool, workers, n int, label []uint32, sc *ContractScratch) ([]uint32, int) {
 	sc.firstPos = parallel.Grow(sc.firstPos, n)
 	firstPos := sc.firstPos
 	parallel.FillPool(pool, workers, firstPos, ^uint32(0))
@@ -132,18 +156,7 @@ func ContractClustersPool(pool *parallel.Pool, workers int, g *Graph, label []ui
 			quot[v] = qid[label[v]]
 		}
 	})
-
-	keys := collectCutArcs(pool, workers, g, label, quot, sc)
-	sc.CutArcs = int64(len(keys))
-	sc.arcTmp = parallel.Grow(sc.arcTmp, len(keys))
-	pool.SortUint64(workers, keys, sc.arcTmp)
-	// Parallel contracted edges collapse to runs of equal keys; keep one.
-	arcs := dedupSortedUint64(pool, workers, keys, sc.arcTmp, sc)
-	q, err := csrFromSortedArcs(pool, workers, nq, arcs, sc)
-	if err != nil {
-		return nil, nil, err
-	}
-	return q, quot, nil
+	return quot, nq
 }
 
 // CutSubgraphPool returns the graph on the same vertex set containing

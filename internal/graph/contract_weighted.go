@@ -1,0 +1,329 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"mpx/internal/parallel"
+)
+
+// This file is the weighted contraction layer of the hierarchy engine:
+// ContractWeightedClustersPool builds the weighted quotient graph of a
+// cluster labeling — parallel edges that contract onto the same quotient
+// pair have their weights SUMMED, the AKPW invariant that lets a weighted
+// hierarchy keep total edge weight conserved level by level — and
+// CutWeightedSubgraphPool builds the weighted residual graph of cut edges
+// on the same vertex set. Both reuse the PR 4 machinery: slice-based label
+// compaction, the stable pool radix sort on packed (qu, qv) arc keys, and
+// direct CSR construction from the sorted arcs.
+//
+// Floating-point sums are order-sensitive, so the summation order is part
+// of the contract: for every quotient edge {a, b} with a < b, the weights
+// of the original cut arcs mapping onto the UPPER arc (a, b) are added
+// left to right in the input's canonical (v, adjacency) collection order,
+// and the lower arc (b, a) carries the identical bits. Without the
+// mirroring the two directions would sum the same multiset in different
+// orders and could disagree in the last ulp — an asymmetric weighted graph
+// breaks the push/pull bit-identity of the weighted partition one level
+// up. The parallel path realizes the canonical order with the stable
+// SortPairs (equal keys keep collection order) plus sequential run sums,
+// and the serial reference realizes it with a plain first-touch map
+// accumulation over the same scan — so the two are bit-identical at every
+// worker count (TestContractWeightedPoolMatchesSerial).
+
+// ContractWeightedClusters is the serial, map-based reference for weighted
+// contraction: the quotient graph of the given cluster labels, with the
+// weight of every quotient edge equal to the sum of the weights of the
+// original cut edges contracting onto it (each direction of a quotient arc
+// accumulates the same sum because the arc scan is symmetric). Quotient
+// ids are assigned in first-appearance order, exactly like ContractClusters.
+func ContractWeightedClusters(wg *WeightedGraph, label []uint32) (*WeightedGraph, []uint32, error) {
+	n := wg.NumVertices()
+	if len(label) != n {
+		return nil, nil, fmt.Errorf("graph: label length %d for n=%d", len(label), n)
+	}
+	remap := make(map[uint32]uint32)
+	quot := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		l := label[v]
+		q, ok := remap[l]
+		if !ok {
+			q = uint32(len(remap))
+			remap[l] = q
+		}
+		quot[v] = q
+	}
+	nq := len(remap)
+	// Accumulate directed quotient-arc weights in canonical (v, adjacency)
+	// collection order — the summation order the parallel path reproduces.
+	wsum := make(map[uint64]float64)
+	var arcs []uint64
+	for v := 0; v < n; v++ {
+		nbrs, ws := wg.Neighbors(uint32(v))
+		for i, u := range nbrs {
+			if label[u] == label[v] {
+				continue
+			}
+			key := uint64(quot[v])<<32 | uint64(quot[u])
+			if _, ok := wsum[key]; !ok {
+				arcs = append(arcs, key)
+			}
+			wsum[key] += ws[i]
+		}
+	}
+	// Canonicalize: the lower arc (b, a) adopts the upper arc's (a, b) sum
+	// so both directions carry identical bits.
+	for _, a := range arcs {
+		if src, dst := uint32(a>>32), uint32(a); src > dst {
+			wsum[a] = wsum[uint64(dst)<<32|uint64(src)]
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool { return arcs[i] < arcs[j] })
+	offs := make([]int64, nq+1)
+	for _, a := range arcs {
+		offs[(a>>32)+1]++
+	}
+	for i := 0; i < nq; i++ {
+		offs[i+1] += offs[i]
+	}
+	adj := make([]uint32, len(arcs))
+	weights := make([]float64, len(arcs))
+	for i, a := range arcs {
+		adj[i] = uint32(a)
+		weights[i] = wsum[a]
+	}
+	return &WeightedGraph{offsets: offs, adj: adj, weights: weights}, quot, nil
+}
+
+// ContractWeightedClustersPool is ContractWeightedClusters executed on a
+// persistent worker pool (nil means parallel.Default()), bit-identical to
+// the serial reference — including the IEEE bits of every summed quotient
+// weight — at every worker count. Label values must lie in [0, n); inputs
+// with out-of-range labels fall back to the serial path.
+//
+// After the call sc.CutArcs reports the directed cut-arc count of the
+// input (twice the undirected cut edges, before parallel-edge merge),
+// exactly as in the unweighted ContractClustersPool.
+func ContractWeightedClustersPool(pool *parallel.Pool, workers int, wg *WeightedGraph, label []uint32, sc *ContractScratch) (*WeightedGraph, []uint32, error) {
+	n := wg.NumVertices()
+	if len(label) != n {
+		return nil, nil, fmt.Errorf("graph: label length %d for n=%d", len(label), n)
+	}
+	if n == 0 {
+		if sc != nil {
+			sc.CutArcs = 0
+		}
+		return &WeightedGraph{offsets: make([]int64, 1)}, []uint32{}, nil
+	}
+	if sc == nil {
+		sc = &ContractScratch{}
+	}
+	bad := pool.ReduceInt64(workers, n, func(v int) int64 {
+		if int(label[v]) >= n {
+			return 1
+		}
+		return 0
+	})
+	if bad > 0 {
+		sc.CutArcs = countCutArcs(pool, workers, wg.Unweighted(), label)
+		return ContractWeightedClusters(wg, label)
+	}
+
+	quot, nq := compactLabelsPool(pool, workers, n, label, sc)
+
+	keys := collectCutArcsWeighted(pool, workers, wg, label, quot, sc)
+	c := len(keys)
+	sc.CutArcs = int64(c)
+	// Position payloads ride the stable sort so each run's weights can be
+	// summed in collection order afterwards.
+	sc.arcPos = parallel.Grow(sc.arcPos, c)
+	pos := sc.arcPos
+	pool.ForRange(workers, c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pos[i] = uint32(i)
+		}
+	})
+	sc.arcTmp = parallel.Grow(sc.arcTmp, c)
+	sc.posTmp = parallel.Grow(sc.posTmp, c)
+	pool.SortPairs(workers, keys, pos, sc.arcTmp, sc.posTmp)
+
+	arcs, wout := dedupSumSortedArcs(pool, workers, keys, pos, sc)
+	mirrorLowerArcWeights(pool, workers, arcs, wout)
+	q, err := csrFromSortedArcs(pool, workers, nq, arcs, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &WeightedGraph{offsets: q.offsets, adj: q.adj, weights: wout}, quot, nil
+}
+
+// mirrorLowerArcWeights overwrites every lower arc's (src > dst) weight
+// with its mirror upper arc's, so each undirected quotient edge carries one
+// bit pattern in both directions. The arc list is sorted, so the mirror is
+// a binary search; the pass is idempotent and schedule-independent.
+func mirrorLowerArcWeights(pool *parallel.Pool, workers int, arcs []uint64, wout []float64) {
+	pool.ForRange(workers, len(arcs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src, dst := uint32(arcs[i]>>32), uint32(arcs[i])
+			if src <= dst {
+				continue
+			}
+			mkey := uint64(dst)<<32 | uint64(src)
+			j := sort.Search(len(arcs), func(j int) bool { return arcs[j] >= mkey })
+			wout[i] = wout[j]
+		}
+	})
+}
+
+// CutWeightedSubgraphPool returns the weighted graph on the same vertex
+// set containing exactly the edges of wg whose endpoints carry different
+// labels, with their original weights — the residual graph a weighted
+// block decomposition recurses on. Identity-mapped cut arcs of a simple
+// graph stay distinct and are collected in ascending (v, u) order, so the
+// collected arc list is already the canonical CSR: no sort, no dedup.
+func CutWeightedSubgraphPool(pool *parallel.Pool, workers int, wg *WeightedGraph, label []uint32, sc *ContractScratch) (*WeightedGraph, error) {
+	n := wg.NumVertices()
+	if len(label) != n {
+		return nil, fmt.Errorf("graph: label length %d for n=%d", len(label), n)
+	}
+	if n == 0 {
+		if sc != nil {
+			sc.CutArcs = 0
+		}
+		return &WeightedGraph{offsets: make([]int64, 1)}, nil
+	}
+	if sc == nil {
+		sc = &ContractScratch{}
+	}
+	keys := collectCutArcsWeighted(pool, workers, wg, label, nil, sc)
+	c := len(keys)
+	sc.CutArcs = int64(c)
+	q, err := csrFromSortedArcs(pool, workers, n, keys, sc)
+	if err != nil {
+		return nil, err
+	}
+	weights := make([]float64, c)
+	arcW := sc.arcW
+	pool.ForRange(workers, c, func(lo, hi int) {
+		copy(weights[lo:hi], arcW[lo:hi])
+	})
+	return &WeightedGraph{offsets: q.offsets, adj: q.adj, weights: weights}, nil
+}
+
+// countCutArcs counts directed arcs whose endpoints carry different labels
+// (the stats fallback for out-of-range label values).
+func countCutArcs(pool *parallel.Pool, workers int, g *Graph, label []uint32) int64 {
+	offsets, adj := g.offsets, g.adj
+	return pool.ReduceInt64(workers, g.NumVertices(), func(v int) int64 {
+		var c int64
+		lv := label[v]
+		for _, u := range adj[offsets[v]:offsets[v+1]] {
+			if label[u] != lv {
+				c++
+			}
+		}
+		return c
+	})
+}
+
+// collectCutArcsWeighted is collectCutArcs for weighted graphs: it gathers
+// the packed key (quot[v]<<32 | quot[u]) — or (v<<32 | u) when quot is nil
+// — AND the arc's weight into sc.arcW, both in canonical (v, adjacency)
+// collection order, with the same deterministic two-pass layout.
+func collectCutArcsWeighted(pool *parallel.Pool, workers int, wg *WeightedGraph, class, quot []uint32, sc *ContractScratch) []uint64 {
+	n := wg.NumVertices()
+	w := parallel.Workers(workers, n)
+	off := sc.ensureOff(w)
+	offsets, adj, ws := wg.offsets, wg.adj, wg.weights
+	pool.Run(w, func(k int) {
+		lo, hi := k*n/w, (k+1)*n/w
+		cnt := 0
+		for v := lo; v < hi; v++ {
+			cv := class[v]
+			for _, u := range adj[offsets[v]:offsets[v+1]] {
+				if class[u] != cv {
+					cnt++
+				}
+			}
+		}
+		off[k+1] = cnt
+	})
+	off[0] = 0
+	for k := 1; k <= w; k++ {
+		off[k] += off[k-1]
+	}
+	sc.arcKeys = parallel.Grow(sc.arcKeys, off[w])
+	sc.arcW = parallel.Grow(sc.arcW, off[w])
+	keys, arcW := sc.arcKeys, sc.arcW
+	pool.Run(w, func(k int) {
+		lo, hi := k*n/w, (k+1)*n/w
+		pos := off[k]
+		for v := lo; v < hi; v++ {
+			cv := class[v]
+			for i := offsets[v]; i < offsets[v+1]; i++ {
+				u := adj[i]
+				if class[u] == cv {
+					continue
+				}
+				if quot != nil {
+					keys[pos] = uint64(quot[v])<<32 | uint64(quot[u])
+				} else {
+					keys[pos] = uint64(v)<<32 | uint64(u)
+				}
+				arcW[pos] = ws[i]
+				pos++
+			}
+		}
+	})
+	return keys
+}
+
+// dedupSumSortedArcs compacts runs of equal keys in the sorted input into
+// sc.arcTmp and returns the compacted arc list plus a freshly allocated
+// weight array: out weight i = the sum of sc.arcW over run i's payload
+// positions, added left to right in sorted order. Because the sort was
+// stable over collection-ordered payloads, that is exactly the canonical
+// collection order, independent of the worker count. A worker sums every
+// run that STARTS in its block, scanning past the block boundary when a
+// run crosses it, so each run is summed by exactly one worker.
+func dedupSumSortedArcs(pool *parallel.Pool, workers int, keys []uint64, pos []uint32, sc *ContractScratch) ([]uint64, []float64) {
+	m := len(keys)
+	if m == 0 {
+		return sc.arcTmp[:0], []float64{}
+	}
+	arcW := sc.arcW
+	w := parallel.Workers(workers, m)
+	off := sc.ensureOff(w)
+	pool.Run(w, func(k int) {
+		lo, hi := k*m/w, (k+1)*m/w
+		cnt := 0
+		for i := lo; i < hi; i++ {
+			if i == 0 || keys[i] != keys[i-1] {
+				cnt++
+			}
+		}
+		off[k+1] = cnt
+	})
+	off[0] = 0
+	for k := 1; k <= w; k++ {
+		off[k] += off[k-1]
+	}
+	out := sc.arcTmp[:off[w]]
+	wout := make([]float64, off[w])
+	pool.Run(w, func(k int) {
+		lo, hi := k*m/w, (k+1)*m/w
+		p := off[k]
+		for i := lo; i < hi; i++ {
+			if i != 0 && keys[i] == keys[i-1] {
+				continue
+			}
+			sum := arcW[pos[i]]
+			for j := i + 1; j < m && keys[j] == keys[i]; j++ {
+				sum += arcW[pos[j]]
+			}
+			out[p] = keys[i]
+			wout[p] = sum
+			p++
+		}
+	})
+	return out, wout
+}

@@ -102,6 +102,115 @@ func ReadDIMACS(r io.Reader) (*Graph, error) {
 	return FromEdgesDedup(n, edges)
 }
 
+// ReadDIMACSWeighted parses a DIMACS graph whose edge lines carry an
+// optional weight ("e u v w" / "a u v w", the shortest-path .gr flavor);
+// lines without a weight field default to weight 1. Weights must be
+// positive. Duplicate edge records (DIMACS files often list each arc
+// twice) collapse to one edge, last weight winning — the FromWeightedEdges
+// convention.
+func ReadDIMACSWeighted(r io.Reader) (*WeightedGraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var n int
+	var m int64
+	var edges []WeightedEdge
+	header := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if header {
+				return nil, fmt.Errorf("graph: line %d: duplicate problem line", lineNo)
+			}
+			if len(fields) != 4 || (fields[1] != "edge" && fields[1] != "col" && fields[1] != "sp") {
+				return nil, fmt.Errorf("graph: line %d: malformed problem line", lineNo)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad n %q", lineNo, fields[2])
+			}
+			if nv > maxDimacsVertices {
+				return nil, fmt.Errorf("graph: line %d: n %d exceeds limit %d", lineNo, nv, maxDimacsVertices)
+			}
+			me, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil || me < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad m %q", lineNo, fields[3])
+			}
+			n, m = nv, me
+			capHint := m
+			if capHint > maxEdgeCapHint {
+				capHint = maxEdgeCapHint
+			}
+			edges = make([]WeightedEdge, 0, capHint)
+			header = true
+		case "e", "a":
+			if !header {
+				return nil, fmt.Errorf("graph: line %d: edge before problem line", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge", lineNo)
+			}
+			u, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad u: %v", lineNo, err)
+			}
+			v, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad v: %v", lineNo, err)
+			}
+			if u < 1 || v < 1 || int(u) > n || int(v) > n {
+				return nil, fmt.Errorf("graph: line %d: vertex out of 1..%d", lineNo, n)
+			}
+			w := 1.0
+			if len(fields) >= 4 {
+				w, err = strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+				}
+				if w <= 0 {
+					return nil, fmt.Errorf("graph: line %d: weight %g must be positive", lineNo, w)
+				}
+			}
+			edges = append(edges, WeightedEdge{U: uint32(u - 1), V: uint32(v - 1), W: w})
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !header {
+		return nil, fmt.Errorf("graph: missing DIMACS problem line")
+	}
+	// Collapse duplicate records before the strict CSR build, keeping each
+	// pair's last weight (matching the FromWeightedEdges alignment rule).
+	seen := make(map[uint64]int, len(edges))
+	dedup := edges[:0]
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		a, b := e.U, e.V
+		if a > b {
+			a, b = b, a
+		}
+		key := uint64(a)<<32 | uint64(b)
+		if i, ok := seen[key]; ok {
+			dedup[i].W = e.W
+			continue
+		}
+		seen[key] = len(dedup)
+		dedup = append(dedup, e)
+	}
+	return FromWeightedEdges(n, dedup)
+}
+
 // WriteDIMACS writes g in DIMACS edge format (1-based).
 func WriteDIMACS(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"sort"
+
 	"mpx/internal/xrand"
 )
 
@@ -93,6 +95,48 @@ func (e errorString) Error() string { return string(e) }
 // Unweighted returns the underlying unweighted graph (sharing storage).
 func (g *WeightedGraph) Unweighted() *Graph {
 	return &Graph{offsets: g.offsets, adj: g.adj}
+}
+
+// Weight returns the weight of edge {u, v} and whether the edge exists.
+// Adjacency lists are sorted, so the lookup is a binary search.
+func (g *WeightedGraph) Weight(u, v uint32) (float64, bool) {
+	lo, hi := g.offsets[u], g.offsets[u+1]
+	nb := g.adj[lo:hi]
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	if i == len(nb) || nb[i] != v {
+		return 0, false
+	}
+	return g.weights[lo+int64(i)], true
+}
+
+// TotalWeight returns the sum of all undirected edge weights (each edge
+// counted once, accumulated in canonical (v, adjacency) order).
+func (g *WeightedGraph) TotalWeight() float64 {
+	var total float64
+	for v := 0; v < g.NumVertices(); v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		for i := lo; i < hi; i++ {
+			if uint32(v) < g.adj[i] {
+				total += g.weights[i]
+			}
+		}
+	}
+	return total
+}
+
+// WeightedEdges returns the undirected weighted edge list in canonical
+// (U, V) order.
+func (g *WeightedGraph) WeightedEdges() []WeightedEdge {
+	edges := make([]WeightedEdge, 0, g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		for i := lo; i < hi; i++ {
+			if u := g.adj[i]; uint32(v) < u {
+				edges = append(edges, WeightedEdge{U: uint32(v), V: u, W: g.weights[i]})
+			}
+		}
+	}
+	return edges
 }
 
 // RandomWeights lifts an unweighted graph to a weighted one with independent

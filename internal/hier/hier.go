@@ -45,6 +45,18 @@ type Config struct {
 	// BetaAt, when non-nil, supplies a per-level β schedule (the embedding
 	// halves its diameter target per level, for example).
 	BetaAt func(level int, g *graph.Graph) float64
+	// WBetaAt, when non-nil, supplies the per-level β schedule of a
+	// weighted run (RunWeighted); β is in units of inverse weighted
+	// distance there, so weighted schedules see the weighted graph. Nil
+	// means the flat Beta.
+	WBetaAt func(level int, wg *graph.WeightedGraph) float64
+	// Delta is the Δ-stepping bucket width forwarded to every weighted
+	// Partition call (<= 0 lets the engine pick its default). Δ shapes the
+	// round schedule only — the output is a fixpoint independent of it.
+	Delta float64
+	// DeltaAt, when non-nil, supplies a per-level Δ schedule for weighted
+	// runs (AKPW aligns Δ with the level's weight-class width).
+	DeltaAt func(level int, wg *graph.WeightedGraph) float64
 	// Seed fixes all randomness; level l decomposes with
 	// xrand.Mix(Seed, l).
 	Seed uint64
@@ -91,6 +103,20 @@ func (c Config) betaAt(level int, g *graph.Graph) float64 {
 	return c.Beta
 }
 
+func (c Config) wbetaAt(level int, wg *graph.WeightedGraph) float64 {
+	if c.WBetaAt != nil {
+		return c.WBetaAt(level, wg)
+	}
+	return c.Beta
+}
+
+func (c Config) deltaAt(level int, wg *graph.WeightedGraph) float64 {
+	if c.DeltaAt != nil {
+		return c.DeltaAt(level, wg)
+	}
+	return c.Delta
+}
+
 // LevelStat summarizes one hierarchy level for reporting (cmd/mpx -app
 // prints these).
 type LevelStat struct {
@@ -101,6 +127,17 @@ type LevelStat struct {
 	CutEdges    int64 // edges crossing pieces
 	CutFraction float64
 	QuotientN   int // vertices of the next level's graph
+
+	// Weighted runs additionally record the level's weight structure.
+	// These are measurements, not determinism-gated output: the block
+	// reductions computing them depend on the logical worker count in
+	// their last float bits, like Rounds depends on the schedule.
+	Weighted          bool
+	TotalWeight       float64 // sum of edge weights entering the level
+	CutWeight         float64 // weight crossing pieces (== next level's total)
+	CutWeightFraction float64
+	WMaxRadius        float64 // largest weighted distance to an assigned center
+	Rounds            int     // Δ-stepping relaxation rounds of the level
 }
 
 // Level is the per-level view handed to the visit callback. Slices alias
@@ -109,10 +146,16 @@ type Level struct {
 	// Index is the level number, 0 for the original graph.
 	Index int
 	// G is the graph decomposed at this level (the original graph at
-	// level 0, a quotient or residual graph afterwards).
+	// level 0, a quotient or residual graph afterwards). In weighted runs
+	// it is the unweighted view of WG, sharing its CSR storage.
 	G *graph.Graph
-	// D is the decomposition of G.
+	// D is the decomposition of G (nil in weighted runs; see WD).
 	D *core.Decomposition
+	// WG is the weighted graph decomposed at this level (weighted runs
+	// only; nil otherwise).
+	WG *graph.WeightedGraph
+	// WD is the weighted decomposition of WG (weighted runs only).
+	WD *core.WeightedDecomposition
 	// Quot maps each vertex of G to its super-vertex in the next level's
 	// graph (contract mode; nil in residual mode). Retained by the caller
 	// freely — it is not scratch.
@@ -150,6 +193,9 @@ type Result struct {
 	// Final is the fully contracted (or fully residual) graph the run
 	// stopped on: it has no edges unless the run errored.
 	Final *graph.Graph
+	// WFinal is the weighted final graph of a RunWeighted hierarchy (its
+	// unweighted view is Final).
+	WFinal *graph.WeightedGraph
 	// OrigMap maps each original vertex to its vertex in Final
 	// (Config.TrackVertexMap, contract mode).
 	OrigMap []uint32

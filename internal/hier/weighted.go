@@ -1,0 +1,242 @@
+package hier
+
+import (
+	"math"
+
+	"mpx/internal/core"
+	"mpx/internal/graph"
+	"mpx/internal/parallel"
+	"mpx/internal/xrand"
+)
+
+// This file is the weighted mode of the hierarchy engine: the same
+// decompose-and-contract driver with core.PartitionWeightedParallel as the
+// per-level decomposition and the weighted contraction/residual kernels
+// (graph.ContractWeightedClustersPool, graph.CutWeightedSubgraphPool) as
+// the per-level rebuild — the layer that runs AKPW end to end on weighted
+// graphs. Contraction SUMS the weights of parallel cut edges into the
+// quotient arc, so total edge weight is conserved level by level, and the
+// per-level β/Δ schedules (Config.WBetaAt / Config.DeltaAt) realize the
+// AKPW weight-class progression: β shrinks geometrically so each level
+// clusters at the next weight scale.
+//
+// Determinism composes exactly as in the unweighted engine: the weighted
+// partition is bit-identical across workers and push/pull/auto
+// (docs/determinism.md), the weighted contraction is bit-identical to its
+// serial reference including every summed weight bit (stable sort + fixed
+// run-sum order), and the annotation/classification kernels are shared
+// with the unweighted engine verbatim — they read only the CSR structure
+// and the center labels, never the weights or the schedule.
+
+// Center returns the per-vertex center assignment of this level's
+// decomposition — WD.Center in weighted runs, D.Center otherwise.
+func (lv *Level) Center() []uint32 {
+	if lv.WD != nil {
+		return lv.WD.Center
+	}
+	return lv.D.Center
+}
+
+// RunWeighted executes a full weighted hierarchy with a fresh engine; see
+// Engine.RunWeighted.
+func RunWeighted(cfg Config, wg *graph.WeightedGraph, visit func(*Level) error) (*Result, error) {
+	return New(cfg).RunWeighted(wg, visit)
+}
+
+// RunWeighted drives the weighted hierarchy over wg, invoking visit (which
+// may be nil) once per level. Per level it runs
+// core.PartitionWeightedParallel with the configured β/Δ schedules, then
+// contracts clusters through graph.ContractWeightedClustersPool (summing
+// parallel edge weights) or rebuilds the weighted residual graph
+// (Config.Residual). Vertex maps, edge annotations and intra-edge
+// collection behave exactly as in Run; Level.G is the unweighted view of
+// Level.WG so OrigEdge works unchanged. Output is bit-identical at every
+// worker count and traversal direction for a fixed (wg, config).
+func (e *Engine) RunWeighted(wg *graph.WeightedGraph, visit func(*Level) error) (*Result, error) {
+	cfg := e.cfg
+	pool := cfg.Pool
+	res := &Result{}
+	n0 := wg.NumVertices()
+	if cfg.TrackVertexMap {
+		res.OrigMap = make([]uint32, n0)
+		pool.ForRange(cfg.Workers, n0, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				res.OrigMap[v] = uint32(v)
+			}
+		})
+	}
+	cur := wg
+	curU := wg.Unweighted()
+	var orig []graph.Edge
+	e.rankFor = nil
+	for level := 0; cur.NumEdges() > 0; level++ {
+		if level >= cfg.maxLevels() {
+			res.WFinal = cur
+			res.Final = curU
+			return res, ErrMaxLevels
+		}
+		beta := cfg.wbetaAt(level, cur)
+		delta := cfg.deltaAt(level, cur)
+		if delta <= 0 {
+			// The Meyer–Sanders default (max weight / avg degree) matches the
+			// WEIGHT scale, but shifted distances live on the SHIFT scale
+			// Exp(β) — mean 1/β, range ~ln n/β. On AKPW schedules β shrinks
+			// geometrically, so a weight-scale Δ would make the bucket count
+			// (and the round count) explode exponentially with the level.
+			// Δ = 1/β keeps it at ~ln n buckets per level at every scale.
+			delta = 1 / beta
+		}
+		wd, err := core.PartitionWeightedParallel(cur, beta, delta, core.Options{
+			Seed:        xrand.Mix(cfg.Seed, uint64(level)),
+			Workers:     cfg.Workers,
+			Pool:        pool,
+			TieBreak:    cfg.TieBreak,
+			ShiftSource: cfg.ShiftSource,
+			Direction:   cfg.Direction,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n := cur.NumVertices()
+		center := wd.Center
+		lv := Level{Index: level, G: curU, WG: cur, WD: wd, eng: e, orig: orig}
+
+		var next *graph.WeightedGraph
+		var nextOrig []graph.Edge
+		if cfg.Residual {
+			next, err = graph.CutWeightedSubgraphPool(pool, cfg.Workers, cur, center, &e.sc)
+			if err != nil {
+				return nil, err
+			}
+			lv.NumQuot = n
+		} else {
+			var quot []uint32
+			next, quot, err = graph.ContractWeightedClustersPool(pool, cfg.Workers, cur, center, &e.sc)
+			if err != nil {
+				return nil, err
+			}
+			lv.Quot = quot
+			lv.NumQuot = next.NumVertices()
+			if cfg.NeedEdgeOrig {
+				nextOrig = e.annotateContraction(curU, orig, center, quot, next.Unweighted())
+			}
+		}
+		if cfg.NeedIntra {
+			lv.IntraEdges = e.collectIntra(curU, orig, center)
+		}
+		if cfg.NeedEdgeOrig && orig != nil {
+			e.buildRank(curU)
+		}
+
+		stat := LevelStat{
+			Level:       level,
+			N:           n,
+			M:           cur.NumEdges(),
+			CutEdges:    e.sc.CutArcs / 2,
+			QuotientN:   lv.NumQuot,
+			Weighted:    true,
+			TotalWeight: TotalWeightOnPool(pool, cfg.Workers, cur),
+			Rounds:      wd.Rounds,
+		}
+		// Weighted contraction conserves cut weight exactly (parallel edges
+		// sum), so the next graph's total IS this level's cut weight.
+		stat.CutWeight = TotalWeightOnPool(pool, cfg.Workers, next)
+		stat.WMaxRadius, _ = pool.MaxFloat64(cfg.Workers, n, func(i int) float64 { return wd.Dist[i] })
+		stat.Clusters = int(pool.ReduceInt64(cfg.Workers, n, func(v int) int64 {
+			if center[v] == uint32(v) {
+				return 1
+			}
+			return 0
+		}))
+		if stat.M > 0 {
+			stat.CutFraction = float64(stat.CutEdges) / float64(stat.M)
+		}
+		if stat.TotalWeight > 0 {
+			stat.CutWeightFraction = stat.CutWeight / stat.TotalWeight
+		}
+
+		if visit != nil {
+			if err := visit(&lv); err != nil {
+				return nil, err
+			}
+		}
+		res.Stats = append(res.Stats, stat)
+		res.Levels++
+		if cfg.TrackVertexMap && !cfg.Residual {
+			quot := lv.Quot
+			pool.ForRange(cfg.Workers, n0, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					res.OrigMap[v] = quot[res.OrigMap[v]]
+				}
+			})
+		}
+		cur = next
+		curU = next.Unweighted()
+		orig = nextOrig
+	}
+	res.WFinal = cur
+	res.Final = curU
+	return res, nil
+}
+
+// TotalWeightOnPool sums the undirected edge weights of wg as a pooled
+// block reduction (each arc contributes half its weight twice). The last
+// float bits depend on the block layout, i.e. on the worker count — use it
+// for stats, never for determinism-gated output. Shared by the engine's
+// per-level stats and the weighted applications.
+func TotalWeightOnPool(pool *parallel.Pool, workers int, wg *graph.WeightedGraph) float64 {
+	return pool.ReduceFloat64(workers, wg.NumVertices(), func(v int) float64 {
+		_, ws := wg.Neighbors(uint32(v))
+		var s float64
+		for _, x := range ws {
+			s += x
+		}
+		return s
+	}) / 2
+}
+
+// WeightRangeOnPool returns the minimum and maximum edge weight of wg as
+// pooled per-vertex reductions (+Inf / -Inf on an edgeless graph). Exact:
+// min/max are order-independent.
+func WeightRangeOnPool(pool *parallel.Pool, workers int, wg *graph.WeightedGraph) (wmin, wmax float64) {
+	n := wg.NumVertices()
+	wmax, _ = pool.MaxFloat64(workers, n, func(v int) float64 {
+		_, ws := wg.Neighbors(uint32(v))
+		m := math.Inf(-1)
+		for _, w := range ws {
+			if w > m {
+				m = w
+			}
+		}
+		return m
+	})
+	negMin, _ := pool.MaxFloat64(workers, n, func(v int) float64 {
+		_, ws := wg.Neighbors(uint32(v))
+		m := math.Inf(-1)
+		for _, w := range ws {
+			if -w > m {
+				m = -w
+			}
+		}
+		return m
+	})
+	return -negMin, wmax
+}
+
+// CutWeightOnPool sums the weight of the edges of wg whose endpoints carry
+// different labels, reducing on the given pool — the weighted analogue of
+// CutEdgesOnPool, shared by the single-level weighted applications. Stats
+// only: block-reduction float order depends on the worker count.
+func CutWeightOnPool(pool *parallel.Pool, workers int, wg *graph.WeightedGraph, center []uint32) float64 {
+	return pool.ReduceFloat64(workers, wg.NumVertices(), func(v int) float64 {
+		nbrs, ws := wg.Neighbors(uint32(v))
+		cv := center[v]
+		var s float64
+		for i, u := range nbrs {
+			if center[u] != cv {
+				s += ws[i]
+			}
+		}
+		return s
+	}) / 2
+}
