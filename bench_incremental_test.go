@@ -1,0 +1,155 @@
+package mpx_bench
+
+import (
+	"testing"
+	"time"
+
+	"mpx/internal/core"
+	"mpx/internal/graph"
+	"mpx/internal/hier"
+	"mpx/internal/xrand"
+)
+
+// e23Setup builds the E23 workload: a ≥100k-vertex grid, a persistent
+// hierarchy over it, and a batch of ~500 intra-cluster non-tree edges of
+// level 0 — edges whose deletion (and re-insertion) provably preserves
+// every level's partition fixpoint, so an Update only refreshes level 0
+// and splices everything above it. The batch touches ≤1% of the vertices.
+func e23Setup(b *testing.B) (*graph.Graph, hier.Config, *hier.Hierarchy, []graph.Edge) {
+	b.Helper()
+	g := graph.Grid2D(350, 300) // 105000 vertices
+	cfg := hier.Config{
+		Beta:           0.15,
+		Seed:           3,
+		Workers:        8,
+		Pool:           benchPool,
+		NeedEdgeOrig:   true,
+		TrackVertexMap: true,
+	}
+	// Recover level 0's decomposition exactly as the hierarchy derives it
+	// (seed mixed with the level index) to classify edges.
+	d0, err := core.Partition(g, cfg.Beta, core.Options{
+		Seed: xrand.Mix(cfg.Seed, 0), Workers: cfg.Workers, Pool: benchPool,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var batch []graph.Edge
+	for _, e := range g.Edges() {
+		if d0.Center[e.U] == d0.Center[e.V] && d0.Parent[e.U] != e.V && d0.Parent[e.V] != e.U {
+			batch = append(batch, e)
+			if len(batch) == 500 {
+				break
+			}
+		}
+	}
+	if len(batch) < 500 {
+		b.Fatalf("only %d intra non-tree edges found", len(batch))
+	}
+	if maxDirty := g.NumVertices() / 100; 2*len(batch) > maxDirty {
+		b.Fatalf("batch may touch %d vertices, above the 1%% budget %d", 2*len(batch), maxDirty)
+	}
+	h, err := hier.BuildHierarchy(cfg, g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, cfg, h, batch
+}
+
+// checkE23Stats asserts the damage-frontier contract the E23 experiment is
+// about: the batch re-derives nothing, refreshes exactly level 0, and
+// splices every level above it.
+func checkE23Stats(b *testing.B, us hier.UpdateStats, levels, n int) {
+	b.Helper()
+	if us.Rederived != 0 || us.Refreshed != 1 || us.Reused != levels-1 {
+		b.Fatalf("update did not stop at the damage frontier: %+v (levels=%d)", us, levels)
+	}
+	if us.DirtyVertices > n/100 {
+		b.Fatalf("batch dirtied %d vertices, above the 1%% budget %d", us.DirtyVertices, n/100)
+	}
+}
+
+// BenchmarkE23IncrementalUpdate is the incremental-vs-rebuild experiment:
+// batched edge updates touching ≤1% of the vertices of a 105k-vertex grid,
+// applied through Hierarchy.Update (alternating delete/re-insert of the
+// same intra-cluster edge set, so the hierarchy returns to a known state
+// every two batches). It asserts the reuse stats per batch and fails
+// unless Update beats a from-scratch BuildHierarchy by ≥3× wall-clock;
+// the measured speedup is reported as a metric (and lands in
+// BENCH_E23.json via the JSON harness).
+func BenchmarkE23IncrementalUpdate(b *testing.B) {
+	g, cfg, h, batch := e23Setup(b)
+	levels := h.Levels()
+	n := g.NumVertices()
+
+	del := graph.Batch{Delete: batch}
+	ins := graph.Batch{Insert: batch}
+
+	// Explicit wall-clock comparison, amortized over delete+insert pairs.
+	const trials = 3
+	start := time.Now()
+	for t := 0; t < trials; t++ {
+		for _, bb := range []graph.Batch{del, ins} {
+			us, err := h.Update(bb, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			checkE23Stats(b, us, levels, n)
+		}
+	}
+	updatePerOp := time.Since(start) / (2 * trials)
+	start = time.Now()
+	for t := 0; t < 2*trials; t++ {
+		if _, err := hier.BuildHierarchy(cfg, g, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rebuildPerOp := time.Since(start) / (2 * trials)
+	speedup := float64(rebuildPerOp) / float64(updatePerOp)
+	if speedup < 3 {
+		b.Fatalf("incremental update is only %.2fx faster than rebuild (update %v, rebuild %v); want >= 3x",
+			speedup, updatePerOp, rebuildPerOp)
+	}
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bb := del
+		if i%2 == 1 {
+			bb = ins
+		}
+		us, err := h.Update(bb, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		checkE23Stats(b, us, levels, n)
+	}
+	b.StopTimer()
+	// ResetTimer wipes user metrics, so report after the timed loop.
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(levels), "levels")
+}
+
+// BenchmarkE23RebuildBaseline is the comparison arm: the same hierarchy
+// built from scratch (what every batch would cost without Update).
+func BenchmarkE23RebuildBaseline(b *testing.B) {
+	g := graph.Grid2D(350, 300)
+	cfg := hier.Config{
+		Beta:           0.15,
+		Seed:           3,
+		Workers:        8,
+		Pool:           benchPool,
+		NeedEdgeOrig:   true,
+		TrackVertexMap: true,
+	}
+	b.ReportAllocs()
+	var levels int
+	for i := 0; i < b.N; i++ {
+		h, err := hier.BuildHierarchy(cfg, g, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		levels = h.Levels()
+	}
+	b.ReportMetric(float64(levels), "levels")
+}

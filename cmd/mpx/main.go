@@ -52,8 +52,14 @@ func main() {
 		direction = flag.String("direction", "auto", "partition traversal: auto|push|pull (mpx and weighted-par algorithms)")
 		pngPath   = flag.String("png", "", "write cluster coloring PNG (grid generators only)")
 		validate  = flag.Bool("validate", false, "run full O(m) decomposition validation")
+		updates   = flag.String("updates", "", "replay a batched edge-update trace against an incrementally maintained app (lowstretch|blocks|embedding); see cmd/mpx/updates.go for the format")
 	)
 	flag.Parse()
+
+	// Explicitly set flags that the selected mode would silently ignore are
+	// hard errors: a flag that does nothing is almost always a typo'd run.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	// Enumerated flags are validated up front and exit with the valid set: a
 	// typo like "-tie perm" must not silently change results by falling back
@@ -99,6 +105,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpx: -weighted applies to hierarchy apps (lowstretch, blocks, embedding); for -app partition use -algo weighted or weighted-par")
 		os.Exit(2)
 	}
+	if *in != "" {
+		for _, name := range []string{"gen", "rows", "cols", "n", "m", "scale"} {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "mpx: -%s shapes a generated graph and is ignored with -in; remove one of them\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+	if explicit["algo"] && *app != "partition" {
+		fmt.Fprintf(os.Stderr, "mpx: -algo applies only to -app partition (got -app %s)\n", *app)
+		os.Exit(2)
+	}
+	if *pngPath != "" && *app != "partition" {
+		fmt.Fprintln(os.Stderr, "mpx: -png renders a single decomposition and applies only to -app partition")
+		os.Exit(2)
+	}
+	if *updates != "" {
+		switch *app {
+		case "lowstretch", "blocks", "embedding":
+		default:
+			fmt.Fprintf(os.Stderr, "mpx: -updates supports apps lowstretch, blocks and embedding (got -app %s)\n", *app)
+			os.Exit(2)
+		}
+		if *weighted {
+			fmt.Fprintln(os.Stderr, "mpx: -updates replays unweighted hierarchies; drop -weighted")
+			os.Exit(2)
+		}
+		if *validate {
+			fmt.Fprintln(os.Stderr, "mpx: -validate applies to -app partition, not -updates replays")
+			os.Exit(2)
+		}
+	}
 
 	// Weighted hierarchy apps build their graph once (a weighted DIMACS
 	// file is parsed a single time, weights included) and run before the
@@ -128,6 +166,25 @@ func main() {
 	pool := parallel.NewPool(0)
 	defer pool.Close()
 	opts := core.Options{Seed: *seed, Workers: *workers, TieBreak: tieBreak, Direction: dir, Pool: pool}
+
+	if *updates != "" {
+		f, err := os.Open(*updates)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpx:", err)
+			os.Exit(1)
+		}
+		batches, err := parseUpdateTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpx:", err)
+			os.Exit(1)
+		}
+		if err := runUpdates(*app, pool, g, *beta, *seed, *workers, dir, batches); err != nil {
+			fmt.Fprintln(os.Stderr, "mpx:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *app != "partition" {
 		if err := runApp(*app, pool, g, *beta, *seed, *workers, dir, opts); err != nil {

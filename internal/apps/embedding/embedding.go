@@ -53,22 +53,46 @@ func Build(g *graph.Graph, diam0 float64, seed uint64) (*Tree, error) {
 // of a composite-key map. For a fixed (g, diam0, seed) the embedding is
 // bit-identical at every worker count and direction.
 func BuildPool(pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, workers int, dir core.Direction) (*Tree, error) {
-	n := g.NumVertices()
-	t := &Tree{G: g}
-	if n == 0 {
-		return t, nil
-	}
+	t, _, err := buildTree(pool, g, diam0, seed, workers, dir, false)
+	return t, err
+}
+
+// levelPartition is what the incremental embedding retains per partition
+// level: the decomposition (whose shift plan powers the O(batch) fixpoint
+// check) and the β the level was built with.
+type levelPartition struct {
+	d    *core.Decomposition
+	beta float64
+}
+
+// resolveDiam0 applies Build's diameter default: the graph's
+// pseudo-diameter, floored at 1.
+func resolveDiam0(g *graph.Graph, diam0 float64) float64 {
 	if diam0 <= 0 {
 		diam0 = float64(bfs.PseudoDiameter(g, 0))
 		if diam0 < 1 {
 			diam0 = 1
 		}
 	}
+	return diam0
+}
+
+// buildTree is the shared level loop behind BuildPool and
+// BuildIncrementalPool; retain additionally returns the per-level
+// decompositions for incremental maintenance.
+func buildTree(pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, workers int, dir core.Direction, retain bool) (*Tree, []levelPartition, error) {
+	n := g.NumVertices()
+	t := &Tree{G: g}
+	if n == 0 {
+		return t, nil, nil
+	}
+	diam0 = resolveDiam0(g, diam0)
 	logn := math.Log(float64(n) + 1)
 
 	// current[v] = piece id of v at the previous level; coarsest level is a
 	// single pseudo-piece per connected component, realized by decomposing
 	// the whole graph with the full diameter target.
+	var parts []levelPartition
 	refineScratch := &hier.RefineScratch{}
 	target := diam0
 	level := 0
@@ -81,7 +105,7 @@ func BuildPool(pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, 
 			Direction: dir,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Refine against the previous level: a piece may not span two
 		// parent pieces, so the effective piece id is the composite key
@@ -106,6 +130,9 @@ func BuildPool(pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, 
 		t.Stats = append(t.Stats, st)
 		t.assignment = append(t.assignment, assign)
 		t.length = append(t.length, target)
+		if retain {
+			parts = append(parts, levelPartition{d: d, beta: beta})
+		}
 		level++
 		target /= 2
 		if level > 60 {
@@ -124,7 +151,7 @@ func BuildPool(pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, 
 	t.assignment = append(t.assignment, leaf)
 	t.length = append(t.length, logn+1)
 	t.Levels = len(t.assignment)
-	return t, nil
+	return t, parts, nil
 }
 
 // Dist returns the tree-metric distance between u and v: twice the sum of

@@ -1,0 +1,158 @@
+package embedding
+
+import (
+	"mpx/internal/core"
+	"mpx/internal/graph"
+	"mpx/internal/hier"
+	"mpx/internal/parallel"
+	"mpx/internal/xrand"
+)
+
+// Incremental is a tree-metric embedding maintained under batched edge
+// updates. Unlike the contraction hierarchies, every embedding level
+// partitions the SAME base graph (at a halving diameter target), so the
+// damage model is per-level independent: a level re-partitions only when
+// core's O(batch) fixpoint check rejects the batch, and re-refines its
+// piece assignment only when its own partition or the parent level's
+// assignment moved. The maintained Tree is bit-identical to BuildPool on
+// the updated graph with the same parameters — with diam0 pinned at build
+// time: the initial diameter target is resolved once (the 0 default reads
+// the pseudo-diameter of the ORIGINAL graph) and kept across updates, so
+// compare against BuildPool with that explicit diam0. Not safe for
+// concurrent use.
+type Incremental struct {
+	t       *Tree
+	parts   []levelPartition
+	pool    *parallel.Pool
+	workers int
+	dir     core.Direction
+	seed    uint64
+	scratch *hier.RefineScratch
+}
+
+// UpdateStats reports how much of the embedding an Update reused.
+type UpdateStats struct {
+	// Levels is the number of partition levels (the leaf level excluded).
+	Levels int
+	// Repartitioned counts levels whose Partition was re-run.
+	Repartitioned int
+	// Refined counts levels whose partition was verified unchanged but
+	// whose piece refinement re-ran because the parent assignment moved.
+	Refined int
+	// Reused counts levels that skipped both.
+	Reused int
+}
+
+// BuildIncremental constructs an updatable embedding on the shared default
+// pool; see BuildIncrementalPool.
+func BuildIncremental(g *graph.Graph, diam0 float64, seed uint64) (*Incremental, error) {
+	return BuildIncrementalPool(nil, g, diam0, seed, 0, core.DirectionAuto)
+}
+
+// BuildIncrementalPool is BuildPool retaining the per-level decompositions
+// for incremental maintenance.
+func BuildIncrementalPool(pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, workers int, dir core.Direction) (*Incremental, error) {
+	diam0 = resolveDiam0(g, diam0)
+	t, parts, err := buildTree(pool, g, diam0, seed, workers, dir, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Incremental{
+		t:       t,
+		parts:   parts,
+		pool:    pool,
+		workers: workers,
+		dir:     dir,
+		seed:    seed,
+		scratch: &hier.RefineScratch{},
+	}, nil
+}
+
+// Tree returns the maintained embedding. The pointer stays valid across
+// updates; Update mutates it in place.
+func (inc *Incremental) Tree() *Tree { return inc.t }
+
+// Update applies b to the base graph and refreshes the embedding level by
+// level: each level re-partitions only if the batch broke its fixpoint,
+// re-refines only if its inputs moved (refinement stops propagating as
+// soon as a recomputed assignment comes out unchanged), and always
+// refreshes its M-dependent stats. An error leaves the structure
+// inconsistent; discard it.
+func (inc *Incremental) Update(b graph.Batch) (UpdateStats, error) {
+	t := inc.t
+	newG, ar, err := graph.ApplyBatch(t.G, b)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	us := UpdateStats{Levels: len(inc.parts)}
+	if ar.Unchanged() {
+		us.Reused = len(inc.parts)
+		return us, nil
+	}
+	n := newG.NumVertices()
+	ins, del := ar.Inserted, ar.Deleted
+	assignChanged := false
+	for l := range inc.parts {
+		lp := &inc.parts[l]
+		verified := lp.d.UnchangedUnder(ins, del)
+		if verified {
+			lp.d.G = newG
+		} else {
+			d, err := core.Partition(newG, lp.beta, core.Options{
+				Seed:      xrand.Mix(inc.seed, uint64(l)),
+				Workers:   inc.workers,
+				Pool:      inc.pool,
+				Direction: inc.dir,
+			})
+			if err != nil {
+				return us, err
+			}
+			lp.d = d
+			us.Repartitioned++
+		}
+		if !verified || assignChanged {
+			assign := make([]uint32, n)
+			if l == 0 {
+				inc.pool.ForRange(inc.workers, n, func(lo, hi int) {
+					copy(assign[lo:hi], lp.d.Center[lo:hi])
+				})
+			} else {
+				hier.RefineAssignment(inc.pool, inc.workers, t.assignment[l-1], lp.d.Center, assign, inc.scratch)
+			}
+			if uint32sEqual(assign, t.assignment[l]) {
+				assignChanged = false // converged; stop propagating
+			} else {
+				t.assignment[l] = assign
+				assignChanged = true
+			}
+			if verified {
+				us.Refined++
+			}
+		} else {
+			us.Reused++
+		}
+		// Stats depend on the edge set, so they always refresh.
+		st := &t.Stats[l]
+		st.M = newG.NumEdges()
+		st.Clusters = lp.d.NumClusters()
+		st.CutEdges = hier.CutEdgesOnPool(inc.pool, inc.workers, newG, lp.d.Center)
+		st.CutFraction = 0
+		if st.M > 0 {
+			st.CutFraction = float64(st.CutEdges) / float64(st.M)
+		}
+	}
+	t.G = newG
+	return us, nil
+}
+
+func uint32sEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

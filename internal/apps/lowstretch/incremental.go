@@ -1,0 +1,149 @@
+package lowstretch
+
+import (
+	"errors"
+
+	"mpx/internal/core"
+	"mpx/internal/graph"
+	"mpx/internal/hier"
+	"mpx/internal/parallel"
+)
+
+// Incremental is a low-stretch spanning forest maintained under batched
+// edge updates. It owns a persistent hier.Hierarchy plus the per-level
+// tree-edge segments, so an Update only recomputes the segments of levels
+// the hierarchy actually re-derived or refreshed — spliced levels keep
+// their edges verbatim — and skips the O(n log n) LCA index rebuild
+// entirely when the tree came out unchanged. The maintained Tree is
+// bit-identical to BuildPool on the updated graph with the same
+// parameters. Not safe for concurrent use.
+type Incremental struct {
+	h    *hier.Hierarchy
+	tree *Tree
+	// segs[l] holds level l's tree edges in original coordinates, in the
+	// same order BuildPool's visit callback emits them.
+	segs [][]graph.Edge
+	// edgesChanged is set by the capture callback whenever a re-visited
+	// level's segment differs from the retained one.
+	edgesChanged bool
+}
+
+// BuildIncremental constructs an updatable low-stretch forest on the shared
+// default pool; see BuildIncrementalPool.
+func BuildIncremental(g *graph.Graph, beta float64, seed uint64) (*Incremental, error) {
+	return BuildIncrementalPool(nil, g, beta, seed, 0, core.DirectionAuto)
+}
+
+// BuildIncrementalPool is BuildPool retaining the hierarchy for incremental
+// maintenance: the initial Tree is bit-identical to BuildPool's, and every
+// subsequent Update leaves Tree bit-identical to BuildPool on the updated
+// graph.
+func BuildIncrementalPool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction) (*Incremental, error) {
+	if beta <= 0 || beta >= 1 {
+		return nil, core.ErrBeta
+	}
+	inc := &Incremental{tree: &Tree{G: g}}
+	h, err := hier.BuildHierarchy(hier.Config{
+		Beta:         beta,
+		Seed:         seed,
+		Workers:      workers,
+		Pool:         pool,
+		Direction:    dir,
+		NeedEdgeOrig: true,
+	}, g, inc.capture)
+	if err == hier.ErrMaxLevels {
+		return nil, errors.New("lowstretch: contraction failed to converge")
+	}
+	if err != nil {
+		return nil, err
+	}
+	inc.h = h
+	if err := inc.rebuildTree(); err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+// Tree returns the maintained spanning forest. The pointer stays valid
+// across updates; Update mutates it in place.
+func (inc *Incremental) Tree() *Tree { return inc.tree }
+
+// Update applies b to the underlying graph and re-derives exactly the
+// hierarchy levels whose inputs changed, splicing the retained tree-edge
+// segments of every reused level. The LCA index is rebuilt only when the
+// edge set actually moved. An error leaves the structure inconsistent;
+// discard it.
+func (inc *Incremental) Update(b graph.Batch) (hier.UpdateStats, error) {
+	inc.edgesChanged = false
+	us, err := inc.h.Update(b, inc.capture)
+	if err == hier.ErrMaxLevels {
+		return us, errors.New("lowstretch: contraction failed to converge")
+	}
+	if err != nil {
+		return us, err
+	}
+	if levels := inc.h.Levels(); len(inc.segs) > levels {
+		inc.segs = inc.segs[:levels]
+		inc.edgesChanged = true
+	}
+	return us, inc.rebuildTree()
+}
+
+// capture recomputes one level's tree-edge segment — the visit callback for
+// both the initial build and every update.
+func (inc *Incremental) capture(lv *hier.Level) error {
+	for len(inc.segs) <= lv.Index {
+		inc.segs = append(inc.segs, nil)
+	}
+	var seg []graph.Edge
+	for v := 0; v < lv.G.NumVertices(); v++ {
+		p := lv.D.Parent[v]
+		if p == uint32(v) {
+			continue
+		}
+		seg = append(seg, lv.OrigEdge(uint32(v), p))
+	}
+	if !segsEqual(seg, inc.segs[lv.Index]) {
+		inc.edgesChanged = true
+	}
+	inc.segs[lv.Index] = seg
+	return nil
+}
+
+// rebuildTree refreshes the maintained Tree from the hierarchy and the
+// retained segments: graph/stats pointers always, the flattened edge list
+// and the LCA index only when a segment moved.
+func (inc *Incremental) rebuildTree() error {
+	t := inc.tree
+	t.G = inc.h.Graph()
+	res := inc.h.Result()
+	t.Levels = res.Levels
+	t.Stats = res.Stats
+	if !inc.edgesChanged && t.comp != nil {
+		return nil
+	}
+	total := 0
+	for _, seg := range inc.segs {
+		total += len(seg)
+	}
+	t.Edges = t.Edges[:0]
+	if cap(t.Edges) < total {
+		t.Edges = make([]graph.Edge, 0, total)
+	}
+	for _, seg := range inc.segs {
+		t.Edges = append(t.Edges, seg...)
+	}
+	return t.index()
+}
+
+func segsEqual(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

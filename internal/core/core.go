@@ -172,6 +172,19 @@ type Decomposition struct {
 	Rounds int
 	// Relaxed is the number of directed edges examined — the work proxy.
 	Relaxed int64
+
+	// rank and bucket retain the shift plan's derived arrays (tie-break
+	// ranks and start buckets). They are edge-independent — functions of
+	// (n, β, seed, TieBreak, ShiftSource) only — and let UnchangedUnder
+	// re-evaluate claim keys in O(1) per edge without re-deriving the plan.
+	// Unweighted Partition always sets them (they alias plan storage that
+	// is allocated regardless); other constructors leave them nil, which
+	// disables the incremental check.
+	rank   []uint32
+	bucket []int32
+	// maxRadius records Options.MaxRadius; UnchangedUnder is only sound
+	// for uncapped runs.
+	maxRadius int32
 }
 
 // ErrBeta reports a β outside the supported range (0, 1).

@@ -103,6 +103,9 @@ func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, erro
 	plan := newShiftPlan(n, beta, opts)
 	d.Shifts = plan.shifts
 	d.DeltaMax = plan.deltaMax
+	d.rank = plan.rank
+	d.bucket = plan.bucket
+	d.maxRadius = opts.MaxRadius
 
 	pool := opts.Pool
 	claim := make([]uint64, n)

@@ -1,0 +1,384 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"mpx/internal/xrand"
+)
+
+// edgeSet collects g's canonical edges into a map for set comparisons.
+func edgeSet(g *Graph) map[uint64]bool {
+	s := make(map[uint64]bool)
+	for _, e := range g.Edges() {
+		s[edgeKey(e)] = true
+	}
+	return s
+}
+
+// applyReference recomputes the updated edge list the slow way: edge set of
+// g, minus deletes, plus inserts, rebuilt with FromEdgesDedup.
+func applyReference(t *testing.T, g *Graph, b Batch) *Graph {
+	t.Helper()
+	s := edgeSet(g)
+	for _, e := range b.Delete {
+		a, c := e.U, e.V
+		if a > c {
+			a, c = c, a
+		}
+		delete(s, uint64(a)<<32|uint64(c))
+	}
+	for _, e := range b.Insert {
+		if e.U == e.V {
+			continue
+		}
+		a, c := e.U, e.V
+		if a > c {
+			a, c = c, a
+		}
+		s[uint64(a)<<32|uint64(c)] = true
+	}
+	edges := make([]Edge, 0, len(s))
+	for k := range s {
+		edges = append(edges, Edge{U: uint32(k >> 32), V: uint32(k)})
+	}
+	ref, err := FromEdgesDedup(g.NumVertices(), edges)
+	if err != nil {
+		t.Fatalf("reference rebuild: %v", err)
+	}
+	return ref
+}
+
+func mustGrid(t *testing.T, rows, cols int) *Graph {
+	t.Helper()
+	return Grid2D(rows, cols)
+}
+
+func randomBatch(t *testing.T, g *Graph, seed uint64, nIns, nDel int) Batch {
+	t.Helper()
+	n := uint64(g.NumVertices())
+	var b Batch
+	for i := 0; i < nIns; i++ {
+		u := uint32(xrand.Mix(seed, uint64(i)*2+1) % n)
+		v := uint32(xrand.Mix(seed, uint64(i)*2+2) % n)
+		b.Insert = append(b.Insert, Edge{U: u, V: v})
+	}
+	edges := g.Edges()
+	for i := 0; i < nDel && len(edges) > 0; i++ {
+		b.Delete = append(b.Delete, edges[xrand.Mix(seed, 0x1000+uint64(i))%uint64(len(edges))])
+	}
+	return b
+}
+
+func TestApplyBatchMatchesRebuild(t *testing.T) {
+	g := mustGrid(t, 17, 13)
+	for trial := uint64(0); trial < 25; trial++ {
+		b := randomBatch(t, g, 0xb47c*trial+trial, 12, 9)
+		// Sprinkle in self loops and duplicates, which must be no-ops.
+		b.Insert = append(b.Insert, Edge{U: 5, V: 5}, b.Insert[0], b.Insert[0])
+		b.Delete = append(b.Delete, b.Delete[0])
+		got, res, err := ApplyBatch(g, b)
+		if err != nil {
+			t.Fatalf("trial %d: ApplyBatch: %v", trial, err)
+		}
+		want := applyReference(t, g, b)
+		if !graphsEqual(got, want) {
+			t.Fatalf("trial %d: ApplyBatch CSR differs from FromEdgesDedup rebuild", trial)
+		}
+		// Effective changes must reconcile the two edge sets exactly.
+		before, after := edgeSet(g), edgeSet(got)
+		for _, e := range res.Inserted {
+			if before[edgeKey(e)] || !after[edgeKey(e)] {
+				t.Fatalf("trial %d: Inserted edge (%d,%d) inconsistent", trial, e.U, e.V)
+			}
+		}
+		for _, e := range res.Deleted {
+			if !before[edgeKey(e)] || after[edgeKey(e)] {
+				t.Fatalf("trial %d: Deleted edge (%d,%d) inconsistent", trial, e.U, e.V)
+			}
+		}
+		if int64(len(before)+len(res.Inserted)-len(res.Deleted)) != got.NumEdges() {
+			t.Fatalf("trial %d: effective change counts don't reconcile edge counts", trial)
+		}
+		// Dirty must be exactly the endpoints of the effective changes.
+		wantDirty := make(map[uint32]bool)
+		for _, e := range res.Inserted {
+			wantDirty[e.U], wantDirty[e.V] = true, true
+		}
+		for _, e := range res.Deleted {
+			wantDirty[e.U], wantDirty[e.V] = true, true
+		}
+		if len(wantDirty) != len(res.Dirty) {
+			t.Fatalf("trial %d: dirty count %d, want %d", trial, len(res.Dirty), len(wantDirty))
+		}
+		for i, v := range res.Dirty {
+			if !wantDirty[v] {
+				t.Fatalf("trial %d: unexpected dirty vertex %d", trial, v)
+			}
+			if i > 0 && res.Dirty[i-1] >= v {
+				t.Fatalf("trial %d: dirty list not sorted strictly", trial)
+			}
+		}
+	}
+}
+
+func TestApplyBatchNoOps(t *testing.T) {
+	g := mustGrid(t, 4, 4)
+	// Insert existing edge, delete absent edge, self loop, and a
+	// delete+insert of the same (absent) edge: all net no-ops.
+	b := Batch{
+		Insert: []Edge{{0, 1}, {3, 3}, {0, 5}},
+		Delete: []Edge{{0, 15}, {0, 5}},
+	}
+	got, res, err := ApplyBatch(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIns := 1 // {0,5} deleted-then-inserted; absent before, so one real insert
+	if len(res.Inserted) != wantIns || len(res.Deleted) != 0 {
+		t.Fatalf("effective = +%d/-%d, want +%d/-0", len(res.Inserted), len(res.Deleted), wantIns)
+	}
+	if res.Unchanged() {
+		t.Fatal("Unchanged() true despite an effective insert")
+	}
+	if got.NumEdges() != g.NumEdges()+1 {
+		t.Fatalf("edges = %d, want %d", got.NumEdges(), g.NumEdges()+1)
+	}
+	// A pure no-op batch must report Unchanged and an identical CSR.
+	got2, res2, err := ApplyBatch(g, Batch{Insert: []Edge{{0, 1}}, Delete: []Edge{{0, 15}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Unchanged() || !graphsEqual(got2, g) {
+		t.Fatal("no-op batch changed the graph")
+	}
+}
+
+func TestApplyBatchRangeError(t *testing.T) {
+	g := mustGrid(t, 3, 3)
+	if _, _, err := ApplyBatch(g, Batch{Insert: []Edge{{0, 9}}}); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("insert out of range: err = %v, want ErrVertexRange", err)
+	}
+	if _, _, err := ApplyBatch(g, Batch{Delete: []Edge{{42, 0}}}); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("delete out of range: err = %v, want ErrVertexRange", err)
+	}
+}
+
+func TestApplyBatchWeightedMatchesRebuild(t *testing.T) {
+	base := mustGrid(t, 9, 8)
+	wg := RandomWeights(base, 1, 10, 7)
+	for trial := uint64(0); trial < 25; trial++ {
+		b := randomBatch(t, base, 0x77ab+trial, 10, 6)
+		for i := range b.Insert {
+			b.InsertW = append(b.InsertW, 1+float64(xrand.Mix(trial, uint64(i))%1000)/100)
+		}
+		got, res, err := ApplyBatchWeighted(wg, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Reference: updated weighted edge list through FromWeightedEdges.
+		wmap := make(map[uint64]float64)
+		for _, e := range wg.WeightedEdges() {
+			wmap[uint64(e.U)<<32|uint64(e.V)] = e.W
+		}
+		for _, e := range b.Delete {
+			a, c := e.U, e.V
+			if a > c {
+				a, c = c, a
+			}
+			delete(wmap, uint64(a)<<32|uint64(c))
+		}
+		for i, e := range b.Insert {
+			if e.U == e.V {
+				continue
+			}
+			a, c := e.U, e.V
+			if a > c {
+				a, c = c, a
+			}
+			wmap[uint64(a)<<32|uint64(c)] = b.InsertW[i]
+		}
+		wes := make([]WeightedEdge, 0, len(wmap))
+		for k, w := range wmap {
+			wes = append(wes, WeightedEdge{U: uint32(k >> 32), V: uint32(k), W: w})
+		}
+		want, err := FromWeightedEdges(base.NumVertices(), wes)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		if !weightedGraphsEqual(got, want) {
+			t.Fatalf("trial %d: weighted CSR differs from FromWeightedEdges rebuild", trial)
+		}
+		for _, e := range res.Reweighted {
+			if _, ok := wg.Weight(e.U, e.V); !ok {
+				t.Fatalf("trial %d: Reweighted edge (%d,%d) was not present before", trial, e.U, e.V)
+			}
+		}
+	}
+}
+
+func TestApplyBatchWeightedUpsert(t *testing.T) {
+	wg, err := FromWeightedEdges(3, []WeightedEdge{{0, 1, 2.5}, {1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := ApplyBatchWeighted(wg, Batch{
+		Insert:  []Edge{{1, 0}, {0, 2}},
+		InsertW: []float64{9.25, 1.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inserted) != 1 || len(res.Reweighted) != 1 {
+		t.Fatalf("effective = +%d/~%d, want +1/~1", len(res.Inserted), len(res.Reweighted))
+	}
+	if w, ok := got.Weight(0, 1); !ok || w != 9.25 {
+		t.Fatalf("upsert weight = %v,%v want 9.25", w, ok)
+	}
+	if w, ok := got.Weight(0, 2); !ok || w != 1.5 {
+		t.Fatalf("insert weight = %v,%v want 1.5", w, ok)
+	}
+	// Re-upserting the identical bits is a no-op.
+	_, res2, err := ApplyBatchWeighted(got, Batch{Insert: []Edge{{0, 1}}, InsertW: []float64{9.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Unchanged() {
+		t.Fatal("identical-weight upsert not a no-op")
+	}
+	// Weighted inserts without weights, and bad weights, must error.
+	if _, _, err := ApplyBatchWeighted(wg, Batch{Insert: []Edge{{0, 2}}}); err == nil {
+		t.Fatal("missing InsertW accepted")
+	}
+	if _, _, err := ApplyBatchWeighted(wg, Batch{Insert: []Edge{{0, 2}}, InsertW: []float64{-1}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestDiffCSR(t *testing.T) {
+	g := mustGrid(t, 5, 5)
+	same, err := FromEdgesDedup(g.NumVertices(), g.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins, del, eq := DiffCSR(g, same); !eq || len(ins) != 0 || len(del) != 0 {
+		t.Fatalf("identical graphs diff: eq=%v +%d -%d", eq, len(ins), len(del))
+	}
+	b := Batch{Insert: []Edge{{0, 24}, {3, 17}}, Delete: []Edge{{0, 1}}}
+	updated, _, err := ApplyBatch(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, del, eq := DiffCSR(g, updated)
+	if eq || len(ins) != 2 || len(del) != 1 {
+		t.Fatalf("diff = eq=%v +%d -%d, want eq=false +2 -1", eq, len(ins), len(del))
+	}
+	// Round-trip: applying the diff to g must reproduce updated exactly.
+	back, _, err := ApplyBatch(g, Batch{Insert: ins, Delete: del})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(back, updated) {
+		t.Fatal("applying DiffCSR output does not reproduce the target graph")
+	}
+}
+
+// Satellite: FromEdgesDedup edge cases that become load-bearing under
+// ApplyBatch (duplicates, self loops, out-of-range, empty input).
+func TestFromEdgesDedupEdgeCases(t *testing.T) {
+	// Empty input and zero vertices.
+	g, err := FromEdgesDedup(0, nil)
+	if err != nil || g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty: n=%d m=%d err=%v", g.NumVertices(), g.NumEdges(), err)
+	}
+	g, err = FromEdgesDedup(5, nil)
+	if err != nil || g.NumVertices() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("edgeless: n=%d m=%d err=%v", g.NumVertices(), g.NumEdges(), err)
+	}
+	// Duplicates in both orientations plus self loops collapse/drop.
+	g, err = FromEdgesDedup(4, []Edge{
+		{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}, {3, 3}, {2, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 1) || g.HasEdge(2, 2) || g.HasEdge(3, 3) {
+		t.Fatal("dedup graph has wrong edge set")
+	}
+	if g.Degree(3) != 0 {
+		t.Fatalf("self-loop vertex degree = %d, want 0", g.Degree(3))
+	}
+	// Out-of-range endpoints error.
+	if _, err := FromEdgesDedup(3, []Edge{{0, 3}}); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("out of range: err = %v, want ErrVertexRange", err)
+	}
+	// Adjacency comes out sorted (binary-searchable), required by ApplyBatch.
+	g, err = FromEdgesDedup(4, []Edge{{3, 0}, {1, 0}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 3 {
+		t.Fatalf("degree(0) = %d, want 3", len(nb))
+	}
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] >= nb[i] {
+			t.Fatal("adjacency not strictly sorted")
+		}
+	}
+	// Dedup of a pre-deduplicated graph's edge list is the identity — the
+	// invariant ApplyBatch's bit-identity contract stands on.
+	grid := mustGrid(t, 6, 7)
+	again, err := FromEdgesDedup(grid.NumVertices(), grid.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(grid, again) {
+		t.Fatal("FromEdgesDedup not idempotent on a simple graph")
+	}
+}
+
+// Satellite: InducedSubgraph edge cases.
+func TestInducedSubgraphEdgeCases(t *testing.T) {
+	g := mustGrid(t, 3, 3)
+	// Empty vertex set: empty graph, empty id map.
+	sub, ids, err := g.InducedSubgraph(nil)
+	if err != nil || sub.NumVertices() != 0 || sub.NumEdges() != 0 || len(ids) != 0 {
+		t.Fatalf("empty selection: n=%d m=%d ids=%v err=%v", sub.NumVertices(), sub.NumEdges(), ids, err)
+	}
+	// Duplicate vertex must error, not silently mangle the relabeling.
+	if _, _, err := g.InducedSubgraph([]uint32{0, 1, 0}); err == nil {
+		t.Fatal("duplicate vertex accepted")
+	}
+	// Out-of-range vertex must error.
+	if _, _, err := g.InducedSubgraph([]uint32{0, 99}); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("out of range: err = %v, want ErrVertexRange", err)
+	}
+	// A single vertex induces the empty graph on one vertex.
+	sub, ids, err = g.InducedSubgraph([]uint32{4})
+	if err != nil || sub.NumVertices() != 1 || sub.NumEdges() != 0 || len(ids) != 1 || ids[0] != 4 {
+		t.Fatalf("singleton: n=%d m=%d ids=%v err=%v", sub.NumVertices(), sub.NumEdges(), ids, err)
+	}
+	// The top-left 2x2 corner of the 3x3 grid induces a 4-cycle, relabeled
+	// in selection order.
+	sub, ids, err = g.InducedSubgraph([]uint32{0, 1, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 4 || sub.NumEdges() != 4 {
+		t.Fatalf("2x2 corner: n=%d m=%d, want 4/4", sub.NumVertices(), sub.NumEdges())
+	}
+	for v := uint32(0); v < 4; v++ {
+		if sub.Degree(v) != 2 {
+			t.Fatalf("2x2 corner: degree(%d) = %d, want 2", v, sub.Degree(v))
+		}
+	}
+	for i, want := range []uint32{0, 1, 3, 4} {
+		if ids[i] != want {
+			t.Fatalf("ids[%d] = %d, want %d", i, ids[i], want)
+		}
+	}
+}

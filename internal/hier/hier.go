@@ -29,7 +29,6 @@ import (
 	"mpx/internal/core"
 	"mpx/internal/graph"
 	"mpx/internal/parallel"
-	"mpx/internal/xrand"
 )
 
 // ErrMaxLevels reports a hierarchy that did not converge (run out of edges
@@ -236,111 +235,21 @@ func Run(cfg Config, g *graph.Graph, visit func(*Level) error) (*Result, error) 
 // It stops when the current graph has no edges, returning ErrMaxLevels
 // (with partial Result) if the cap is hit first, and propagates any error
 // from Partition or visit.
+//
+// Run is a thin wrapper over the persistent Hierarchy (update.go): it
+// builds one, discards the retained per-level state, and returns the
+// Result. Callers that want to maintain the hierarchy under edge updates
+// use BuildHierarchy/Hierarchy.Update instead.
 func (e *Engine) Run(g *graph.Graph, visit func(*Level) error) (*Result, error) {
-	cfg := e.cfg
-	pool := cfg.Pool
-	res := &Result{}
-	n0 := g.NumVertices()
-	if cfg.TrackVertexMap {
-		res.OrigMap = make([]uint32, n0)
-		pool.ForRange(cfg.Workers, n0, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				res.OrigMap[v] = uint32(v)
-			}
-		})
+	h := &Hierarchy{eng: e, res: &Result{}}
+	h.initOrigMap(g.NumVertices())
+	if err := h.deriveFrom(0, g, nil, visit); err != nil {
+		if errors.Is(err, ErrMaxLevels) {
+			return h.res, err
+		}
+		return nil, err
 	}
-	cur := g
-	var orig []graph.Edge
-	e.rankFor = nil
-	for level := 0; cur.NumEdges() > 0; level++ {
-		if level >= cfg.maxLevels() {
-			res.Final = cur
-			return res, ErrMaxLevels
-		}
-		d, err := core.Partition(cur, cfg.betaAt(level, cur), core.Options{
-			Seed:        xrand.Mix(cfg.Seed, uint64(level)),
-			Workers:     cfg.Workers,
-			Pool:        pool,
-			TieBreak:    cfg.TieBreak,
-			ShiftSource: cfg.ShiftSource,
-			Direction:   cfg.Direction,
-		})
-		if err != nil {
-			return nil, err
-		}
-		n := cur.NumVertices()
-		center := d.Center
-		lv := Level{Index: level, G: cur, D: d, eng: e, orig: orig}
-
-		// Classification + next level. Contract mode renumbers through the
-		// quotient map; residual mode keeps vertex ids and drops intra
-		// edges.
-		var next *graph.Graph
-		var nextOrig []graph.Edge
-		if cfg.Residual {
-			next, err = graph.CutSubgraphPool(pool, cfg.Workers, cur, center, &e.sc)
-			if err != nil {
-				return nil, err
-			}
-			lv.NumQuot = n
-		} else {
-			var quot []uint32
-			next, quot, err = graph.ContractClustersPool(pool, cfg.Workers, cur, center, &e.sc)
-			if err != nil {
-				return nil, err
-			}
-			lv.Quot = quot
-			lv.NumQuot = next.NumVertices()
-			if cfg.NeedEdgeOrig {
-				nextOrig = e.annotateContraction(cur, orig, center, quot, next)
-			}
-		}
-		if cfg.NeedIntra {
-			lv.IntraEdges = e.collectIntra(cur, orig, center)
-		}
-		if cfg.NeedEdgeOrig && orig != nil {
-			e.buildRank(cur)
-		}
-
-		// The contraction/residual rebuild already walked every arc and
-		// recorded the cut-arc count; no second O(m) stats sweep.
-		stat := LevelStat{
-			Level:     level,
-			N:         n,
-			M:         cur.NumEdges(),
-			CutEdges:  e.sc.CutArcs / 2,
-			QuotientN: lv.NumQuot,
-		}
-		stat.Clusters = int(pool.ReduceInt64(cfg.Workers, n, func(v int) int64 {
-			if center[v] == uint32(v) {
-				return 1
-			}
-			return 0
-		}))
-		if stat.M > 0 {
-			stat.CutFraction = float64(stat.CutEdges) / float64(stat.M)
-		}
-
-		if visit != nil {
-			if err := visit(&lv); err != nil {
-				return nil, err
-			}
-		}
-		res.Stats = append(res.Stats, stat)
-		res.Levels++
-		if cfg.TrackVertexMap && !cfg.Residual {
-			quot := lv.Quot
-			pool.ForRange(cfg.Workers, n0, func(lo, hi int) {
-				for v := lo; v < hi; v++ {
-					res.OrigMap[v] = quot[res.OrigMap[v]]
-				}
-			})
-		}
-		cur = next
-		orig = nextOrig
-	}
-	res.Final = cur
-	return res, nil
+	return h.res, nil
 }
 
 // CutEdgesOnPool counts the undirected edges of g whose endpoints carry

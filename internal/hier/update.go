@@ -1,0 +1,668 @@
+package hier
+
+import (
+	"errors"
+	"fmt"
+
+	"mpx/internal/core"
+	"mpx/internal/graph"
+	"mpx/internal/xrand"
+)
+
+// This file turns the one-shot decompose-and-contract driver into an
+// online system: a persistent Hierarchy retains every level's input graph,
+// decomposition, quotient map and annotation table, and Update applies a
+// graph.Batch by re-deriving — never patching — exactly the levels whose
+// inputs changed (the ROADMAP rule). The contract is strict bit-identity:
+// after Update, the Hierarchy's Result, every retained level, and every
+// value a visit callback observes are identical to a from-scratch build on
+// the updated graph with the same Config.
+//
+// Three facts localize the damage (docs/determinism.md §"Incremental
+// re-derivation" gives the full argument):
+//
+//   - Level l's partition is seeded xrand.Mix(Seed, l) and its shift plan
+//     never reads edges, so a batch can only change level l's output
+//     through level l's input graph, and
+//     core.Decomposition.UnchangedUnder verifies in O(batch) whether the
+//     partition fixpoint survived the change.
+//
+//   - With the partition verified, a batch whose edges are all
+//     intra-cluster leaves the cut-edge set — and therefore the quotient
+//     (or residual) graph AND the annotation representatives — untouched:
+//     inserting or deleting edges never reorders the surviving edges in
+//     canonical order, so "first cut edge per quotient pair" picks the
+//     same representatives. Only the level's own M-dependent stats and
+//     intra-edge list need refreshing.
+//
+//   - Otherwise the contraction is re-run (partition reuse is the
+//     expensive part; contraction is a scan) and the CSR diff of the old
+//     and new quotient graphs becomes the next level's batch. The quotient
+//     numbering is stable because the label-compaction order depends only
+//     on the (unchanged) center array.
+//
+// Weighted hierarchies take the conservative path: any effective weighted
+// change re-derives every level (a weight change can move Δ-stepping
+// distances anywhere). Bit-identity holds trivially; making the weighted
+// fixpoint check incremental is an open ROADMAP item.
+
+// levelState is everything the Hierarchy retains per level: the level's
+// input graph (weighted view when applicable), its decomposition, the
+// quotient map, and the annotation table that maps the input graph's
+// canonical edges to original edges (nil = identity).
+type levelState struct {
+	g       *graph.Graph
+	wg      *graph.WeightedGraph
+	d       *core.Decomposition
+	wd      *core.WeightedDecomposition
+	quot    []uint32
+	numQuot int
+	orig    []graph.Edge
+}
+
+// Hierarchy is a persistent decompose-and-contract hierarchy: the result
+// of a build plus everything needed to maintain it under edge updates.
+// It is not safe for concurrent use.
+type Hierarchy struct {
+	eng      *Engine
+	res      *Result
+	levels   []levelState
+	weighted bool
+}
+
+// UpdateStats reports how much of the hierarchy an Update reused.
+type UpdateStats struct {
+	// Levels is the level count after the update.
+	Levels int
+	// Rederived counts levels whose partition was re-run from scratch
+	// (the damage frontier and everything above it).
+	Rederived int
+	// Refreshed counts levels below the frontier that were reprocessed
+	// with their partition verified unchanged — stats, contraction, or
+	// annotations recomputed, the O(n·rounds) partition skipped.
+	Refreshed int
+	// Reused counts levels spliced verbatim: no recomputation, no visit.
+	Reused int
+	// DirtyVertices is the number of base-graph vertices whose adjacency
+	// the batch changed; InsEdges/DelEdges/ReweightedEdges are the
+	// effective base-graph edge changes.
+	DirtyVertices   int
+	InsEdges        int
+	DelEdges        int
+	ReweightedEdges int
+}
+
+func (s UpdateStats) String() string {
+	return fmt.Sprintf("update{levels=%d rederived=%d refreshed=%d reused=%d dirty=%d +%d/-%d/~%d}",
+		s.Levels, s.Rederived, s.Refreshed, s.Reused, s.DirtyVertices, s.InsEdges, s.DelEdges, s.ReweightedEdges)
+}
+
+// BuildHierarchy builds a persistent unweighted hierarchy over g, invoking
+// visit per level exactly as Run does. The returned Hierarchy owns the
+// engine's scratch; keep it to call Update. On ErrMaxLevels the hierarchy
+// is returned alongside the error (its partial levels are consistent);
+// other errors return nil.
+func BuildHierarchy(cfg Config, g *graph.Graph, visit func(*Level) error) (*Hierarchy, error) {
+	h := &Hierarchy{eng: New(cfg), res: &Result{}}
+	h.initOrigMap(g.NumVertices())
+	if err := h.deriveFrom(0, g, nil, visit); err != nil {
+		if errors.Is(err, ErrMaxLevels) {
+			return h, err
+		}
+		return nil, err
+	}
+	return h, nil
+}
+
+// BuildWeightedHierarchy is BuildHierarchy for weighted graphs (the
+// RunWeighted driver).
+func BuildWeightedHierarchy(cfg Config, wg *graph.WeightedGraph, visit func(*Level) error) (*Hierarchy, error) {
+	h := &Hierarchy{eng: New(cfg), res: &Result{}, weighted: true}
+	h.initOrigMap(wg.NumVertices())
+	if err := h.deriveWeightedFrom(0, wg, visit); err != nil {
+		if errors.Is(err, ErrMaxLevels) {
+			return h, err
+		}
+		return nil, err
+	}
+	return h, nil
+}
+
+// Result returns the hierarchy's current result. The same pointer stays
+// valid across updates; Update mutates it in place.
+func (h *Hierarchy) Result() *Result { return h.res }
+
+// Levels returns the current level count.
+func (h *Hierarchy) Levels() int { return h.res.Levels }
+
+// Graph returns the current base graph (the updated one after Update).
+func (h *Hierarchy) Graph() *graph.Graph {
+	if len(h.levels) > 0 {
+		return h.levels[0].g
+	}
+	return h.res.Final
+}
+
+// WeightedGraph returns the current weighted base graph (weighted
+// hierarchies only; nil otherwise).
+func (h *Hierarchy) WeightedGraph() *graph.WeightedGraph {
+	if !h.weighted {
+		return nil
+	}
+	if len(h.levels) > 0 {
+		return h.levels[0].wg
+	}
+	return h.res.WFinal
+}
+
+func (h *Hierarchy) initOrigMap(n0 int) {
+	cfg := h.eng.cfg
+	if !cfg.TrackVertexMap {
+		return
+	}
+	h.res.OrigMap = make([]uint32, n0)
+	cfg.Pool.ForRange(cfg.Workers, n0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			h.res.OrigMap[v] = uint32(v)
+		}
+	})
+}
+
+// recomposeOrigMap rebuilds Result.OrigMap as the composition of every
+// level's quotient map. Pure integer map folding in a fixed order — the
+// values are identical to the per-level composition Run used to maintain.
+func (h *Hierarchy) recomposeOrigMap() {
+	cfg := h.eng.cfg
+	if !cfg.TrackVertexMap || cfg.Residual || h.res.OrigMap == nil {
+		return
+	}
+	om := h.res.OrigMap
+	n0 := len(om)
+	cfg.Pool.ForRange(cfg.Workers, n0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			om[v] = uint32(v)
+		}
+	})
+	for i := range h.levels {
+		quot := h.levels[i].quot
+		cfg.Pool.ForRange(cfg.Workers, n0, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				om[v] = quot[om[v]]
+			}
+		})
+	}
+}
+
+// deriveFrom truncates the hierarchy to [0, start) and derives level start
+// and everything above it from scratch: the loop body of the original
+// one-shot Run, retaining per-level state as it goes. cur is the graph
+// entering level start and orig its annotation table (nil = identity).
+// Output is bit-identical to a full Run over the level range — each level
+// partitions with xrand.Mix(Seed, level) and identical inputs.
+func (h *Hierarchy) deriveFrom(start int, cur *graph.Graph, orig []graph.Edge, visit func(*Level) error) error {
+	e := h.eng
+	cfg := e.cfg
+	pool := cfg.Pool
+	h.levels = h.levels[:start]
+	h.res.Stats = h.res.Stats[:start]
+	h.res.Levels = start
+	e.rankFor = nil
+	for level := start; cur.NumEdges() > 0; level++ {
+		if level >= cfg.maxLevels() {
+			h.res.Final = cur
+			h.recomposeOrigMap()
+			return ErrMaxLevels
+		}
+		d, err := core.Partition(cur, cfg.betaAt(level, cur), core.Options{
+			Seed:        xrand.Mix(cfg.Seed, uint64(level)),
+			Workers:     cfg.Workers,
+			Pool:        pool,
+			TieBreak:    cfg.TieBreak,
+			ShiftSource: cfg.ShiftSource,
+			Direction:   cfg.Direction,
+		})
+		if err != nil {
+			return err
+		}
+		n := cur.NumVertices()
+		center := d.Center
+		lv := Level{Index: level, G: cur, D: d, eng: e, orig: orig}
+
+		// Classification + next level. Contract mode renumbers through the
+		// quotient map; residual mode keeps vertex ids and drops intra
+		// edges.
+		var next *graph.Graph
+		var nextOrig []graph.Edge
+		if cfg.Residual {
+			next, err = graph.CutSubgraphPool(pool, cfg.Workers, cur, center, &e.sc)
+			if err != nil {
+				return err
+			}
+			lv.NumQuot = n
+		} else {
+			var quot []uint32
+			next, quot, err = graph.ContractClustersPool(pool, cfg.Workers, cur, center, &e.sc)
+			if err != nil {
+				return err
+			}
+			lv.Quot = quot
+			lv.NumQuot = next.NumVertices()
+			if cfg.NeedEdgeOrig {
+				nextOrig = e.annotateContraction(cur, orig, center, quot, next)
+			}
+		}
+		if cfg.NeedIntra {
+			lv.IntraEdges = e.collectIntra(cur, orig, center)
+		}
+		if cfg.NeedEdgeOrig && orig != nil {
+			e.buildRank(cur)
+		}
+
+		// The contraction/residual rebuild already walked every arc and
+		// recorded the cut-arc count; no second O(m) stats sweep.
+		stat := LevelStat{
+			Level:     level,
+			N:         n,
+			M:         cur.NumEdges(),
+			CutEdges:  e.sc.CutArcs / 2,
+			QuotientN: lv.NumQuot,
+		}
+		stat.Clusters = int(pool.ReduceInt64(cfg.Workers, n, func(v int) int64 {
+			if center[v] == uint32(v) {
+				return 1
+			}
+			return 0
+		}))
+		if stat.M > 0 {
+			stat.CutFraction = float64(stat.CutEdges) / float64(stat.M)
+		}
+
+		if visit != nil {
+			if err := visit(&lv); err != nil {
+				return err
+			}
+		}
+		h.levels = append(h.levels, levelState{
+			g: cur, d: d, quot: lv.Quot, numQuot: lv.NumQuot, orig: orig,
+		})
+		h.res.Stats = append(h.res.Stats, stat)
+		h.res.Levels++
+		cur = next
+		orig = nextOrig
+	}
+	h.res.Final = cur
+	h.recomposeOrigMap()
+	return nil
+}
+
+// deriveWeightedFrom is deriveFrom for weighted hierarchies: the loop body
+// of the original RunWeighted, retaining per-level state.
+func (h *Hierarchy) deriveWeightedFrom(start int, cur *graph.WeightedGraph, visit func(*Level) error) error {
+	e := h.eng
+	cfg := e.cfg
+	pool := cfg.Pool
+	h.levels = h.levels[:start]
+	h.res.Stats = h.res.Stats[:start]
+	h.res.Levels = start
+	curU := cur.Unweighted()
+	var orig []graph.Edge
+	e.rankFor = nil
+	for level := start; cur.NumEdges() > 0; level++ {
+		if level >= cfg.maxLevels() {
+			h.res.WFinal = cur
+			h.res.Final = curU
+			h.recomposeOrigMap()
+			return ErrMaxLevels
+		}
+		beta := cfg.wbetaAt(level, cur)
+		delta := cfg.deltaAt(level, cur)
+		if delta <= 0 {
+			// The Meyer–Sanders default (max weight / avg degree) matches the
+			// WEIGHT scale, but shifted distances live on the SHIFT scale
+			// Exp(β) — mean 1/β, range ~ln n/β. On AKPW schedules β shrinks
+			// geometrically, so a weight-scale Δ would make the bucket count
+			// (and the round count) explode exponentially with the level.
+			// Δ = 1/β keeps it at ~ln n buckets per level at every scale.
+			delta = 1 / beta
+		}
+		wd, err := core.PartitionWeightedParallel(cur, beta, delta, core.Options{
+			Seed:        xrand.Mix(cfg.Seed, uint64(level)),
+			Workers:     cfg.Workers,
+			Pool:        pool,
+			TieBreak:    cfg.TieBreak,
+			ShiftSource: cfg.ShiftSource,
+			Direction:   cfg.Direction,
+		})
+		if err != nil {
+			return err
+		}
+		n := cur.NumVertices()
+		center := wd.Center
+		lv := Level{Index: level, G: curU, WG: cur, WD: wd, eng: e, orig: orig}
+
+		var next *graph.WeightedGraph
+		var nextOrig []graph.Edge
+		if cfg.Residual {
+			next, err = graph.CutWeightedSubgraphPool(pool, cfg.Workers, cur, center, &e.sc)
+			if err != nil {
+				return err
+			}
+			lv.NumQuot = n
+		} else {
+			var quot []uint32
+			next, quot, err = graph.ContractWeightedClustersPool(pool, cfg.Workers, cur, center, &e.sc)
+			if err != nil {
+				return err
+			}
+			lv.Quot = quot
+			lv.NumQuot = next.NumVertices()
+			if cfg.NeedEdgeOrig {
+				nextOrig = e.annotateContraction(curU, orig, center, quot, next.Unweighted())
+			}
+		}
+		if cfg.NeedIntra {
+			lv.IntraEdges = e.collectIntra(curU, orig, center)
+		}
+		if cfg.NeedEdgeOrig && orig != nil {
+			e.buildRank(curU)
+		}
+
+		stat := LevelStat{
+			Level:       level,
+			N:           n,
+			M:           cur.NumEdges(),
+			CutEdges:    e.sc.CutArcs / 2,
+			QuotientN:   lv.NumQuot,
+			Weighted:    true,
+			TotalWeight: TotalWeightOnPool(pool, cfg.Workers, cur),
+			Rounds:      wd.Rounds,
+		}
+		// Weighted contraction conserves cut weight exactly (parallel edges
+		// sum), so the next graph's total IS this level's cut weight.
+		stat.CutWeight = TotalWeightOnPool(pool, cfg.Workers, next)
+		stat.WMaxRadius, _ = pool.MaxFloat64(cfg.Workers, n, func(i int) float64 { return wd.Dist[i] })
+		stat.Clusters = int(pool.ReduceInt64(cfg.Workers, n, func(v int) int64 {
+			if center[v] == uint32(v) {
+				return 1
+			}
+			return 0
+		}))
+		if stat.M > 0 {
+			stat.CutFraction = float64(stat.CutEdges) / float64(stat.M)
+		}
+		if stat.TotalWeight > 0 {
+			stat.CutWeightFraction = stat.CutWeight / stat.TotalWeight
+		}
+
+		if visit != nil {
+			if err := visit(&lv); err != nil {
+				return err
+			}
+		}
+		h.levels = append(h.levels, levelState{
+			g: curU, wg: cur, wd: wd, quot: lv.Quot, numQuot: lv.NumQuot, orig: orig,
+		})
+		h.res.Stats = append(h.res.Stats, stat)
+		h.res.Levels++
+		cur = next
+		curU = next.Unweighted()
+		orig = nextOrig
+	}
+	h.res.WFinal = cur
+	h.res.Final = curU
+	h.recomposeOrigMap()
+	return nil
+}
+
+// graphEntering returns the graph entering level l: the retained input
+// graph for existing levels, the final graph past the top.
+func (h *Hierarchy) graphEntering(l int) *graph.Graph {
+	if l < len(h.levels) {
+		return h.levels[l].g
+	}
+	return h.res.Final
+}
+
+// origEntering returns the annotation table entering level l (nil =
+// identity; always nil past the top, where the final graph has no edges).
+func (h *Hierarchy) origEntering(l int) []graph.Edge {
+	if l < len(h.levels) {
+		return h.levels[l].orig
+	}
+	return nil
+}
+
+func edgesEqual(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Update applies b to the hierarchy's base graph and re-derives exactly
+// the levels whose inputs changed, walking the damage up through the
+// quotient maps. visit (which may be nil) is invoked, in level order, for
+// every level whose observable state changed — re-derived levels AND
+// refreshed levels — with exactly the Level view a from-scratch build
+// would present; spliced levels are not visited. After Update, the
+// Hierarchy and its Result are bit-identical to a from-scratch build on
+// the updated graph.
+//
+// The per-level decision is:
+//
+//   - effective batch empty and annotations unchanged → splice the level
+//     and everything above it (reused verbatim);
+//   - core's UnchangedUnder rejects the batch (or the level's graph ran
+//     out of edges) → re-derive this level and everything above it;
+//   - verified, batch all intra-cluster → refresh stats/intra in place,
+//     next level unchanged;
+//   - verified, batch touches cut edges → re-run the contraction, diff
+//     the quotient CSRs, and propagate the diff as the next level's batch.
+//
+// An error (from a kernel or a visit callback) leaves the hierarchy in an
+// inconsistent state; discard it.
+func (h *Hierarchy) Update(b graph.Batch, visit func(*Level) error) (UpdateStats, error) {
+	if h.weighted {
+		return h.updateWeighted(b, visit)
+	}
+	newG, ar, err := graph.ApplyBatch(h.Graph(), b)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	us := UpdateStats{
+		DirtyVertices: len(ar.Dirty),
+		InsEdges:      len(ar.Inserted),
+		DelEdges:      len(ar.Deleted),
+	}
+	if ar.Unchanged() {
+		us.Levels = h.res.Levels
+		us.Reused = h.res.Levels
+		return us, nil
+	}
+
+	e := h.eng
+	cfg := e.cfg
+	pool := cfg.Pool
+	cur := newG
+	ins, del := ar.Inserted, ar.Deleted
+	var origIn []graph.Edge
+	annotChanged := false
+
+	for l := 0; ; l++ {
+		if l >= len(h.levels) || len(ins)+len(del) > 0 && cur.NumEdges() == 0 {
+			// Past the old top (new levels to grow), or this level's graph
+			// lost its last edge (levels above it disappear): both are full
+			// re-derivations from here.
+			err := h.deriveFrom(l, cur, origIn, visit)
+			us.Rederived = h.res.Levels - l
+			us.Levels = h.res.Levels
+			return us, err
+		}
+		st := &h.levels[l]
+		if len(ins)+len(del) > 0 && !st.d.UnchangedUnder(ins, del) {
+			err := h.deriveFrom(l, cur, origIn, visit)
+			us.Rederived = h.res.Levels - l
+			us.Levels = h.res.Levels
+			return us, err
+		}
+
+		// Partition verified unchanged (or the batch is annotation-only).
+		us.Refreshed++
+		graphChanged := len(ins)+len(del) > 0
+		st.g = cur
+		st.d.G = cur
+		st.orig = origIn
+		center := st.d.Center
+		stat := &h.res.Stats[l]
+
+		allIntra := true
+		for _, ed := range ins {
+			if center[ed.U] != center[ed.V] {
+				allIntra = false
+				break
+			}
+		}
+		if allIntra {
+			for _, ed := range del {
+				if center[ed.U] != center[ed.V] {
+					allIntra = false
+					break
+				}
+			}
+		}
+
+		var next *graph.Graph
+		var nextOrig []graph.Edge
+		var nextIns, nextDel []graph.Edge
+		nextAnnotChanged := false
+		if graphChanged && !allIntra {
+			// Cut structure changed: re-run the contraction (no partition!)
+			// and diff the quotient graphs to get the next level's batch.
+			if cfg.Residual {
+				next, err = graph.CutSubgraphPool(pool, cfg.Workers, cur, center, &e.sc)
+				if err != nil {
+					return us, err
+				}
+			} else {
+				var quot []uint32
+				next, quot, err = graph.ContractClustersPool(pool, cfg.Workers, cur, center, &e.sc)
+				if err != nil {
+					return us, err
+				}
+				// The compaction order depends only on the center array, so
+				// the numbering is stable; guard the invariant the splice
+				// logic stands on.
+				if next.NumVertices() != st.numQuot {
+					return us, fmt.Errorf("hier: quotient numbering shifted under a verified partition (level %d: %d -> %d vertices)",
+						l, st.numQuot, next.NumVertices())
+				}
+				st.quot = quot
+				if cfg.NeedEdgeOrig {
+					nextOrig = e.annotateContraction(cur, origIn, center, quot, next)
+				}
+			}
+			stat.M = cur.NumEdges()
+			stat.CutEdges = e.sc.CutArcs / 2
+			stat.CutFraction = 0
+			if stat.M > 0 {
+				stat.CutFraction = float64(stat.CutEdges) / float64(stat.M)
+			}
+			oldNext := h.graphEntering(l + 1)
+			var equal bool
+			nextIns, nextDel, equal = graph.DiffCSR(oldNext, next)
+			if equal {
+				next = oldNext // bit-identical; keep the retained pointer
+			}
+			if cfg.NeedEdgeOrig {
+				if old := h.origEntering(l + 1); edgesEqual(nextOrig, old) {
+					nextOrig = old
+				} else {
+					nextAnnotChanged = true
+				}
+			}
+		} else {
+			// Intra-only (or annotation-only) change: the cut-edge set is
+			// untouched, so the next graph and the annotation
+			// representatives are provably identical; only M-dependent
+			// stats move.
+			if graphChanged {
+				stat.M = cur.NumEdges()
+				stat.CutFraction = 0
+				if stat.M > 0 {
+					stat.CutFraction = float64(stat.CutEdges) / float64(stat.M)
+				}
+			}
+			next = h.graphEntering(l + 1)
+			nextOrig = h.origEntering(l + 1)
+			if cfg.NeedEdgeOrig && annotChanged && !cfg.Residual {
+				// The table entering this level changed, so the values its
+				// cut-edge representatives carry may change even though the
+				// representatives themselves are fixed.
+				fresh := e.annotateContraction(cur, origIn, center, st.quot, next)
+				if edgesEqual(fresh, nextOrig) {
+					// converged; keep the old table
+				} else {
+					nextOrig = fresh
+					nextAnnotChanged = true
+				}
+			}
+		}
+
+		// Re-present the refreshed level to the caller, exactly as a fresh
+		// build would.
+		lv := Level{Index: l, G: cur, D: st.d, Quot: st.quot, NumQuot: st.numQuot, eng: e, orig: origIn}
+		if cfg.NeedIntra {
+			lv.IntraEdges = e.collectIntra(cur, origIn, center)
+		}
+		if cfg.NeedEdgeOrig && origIn != nil {
+			e.buildRank(cur)
+		}
+		if visit != nil {
+			if err := visit(&lv); err != nil {
+				return us, err
+			}
+		}
+
+		if len(nextIns)+len(nextDel) == 0 && !nextAnnotChanged {
+			// Damage absorbed: everything above is reused verbatim.
+			us.Reused = h.res.Levels - l - 1
+			us.Levels = h.res.Levels
+			return us, nil
+		}
+		cur = next
+		ins, del = nextIns, nextDel
+		origIn = nextOrig
+		annotChanged = nextAnnotChanged
+	}
+}
+
+// updateWeighted is the conservative weighted path: any effective change
+// re-derives the whole hierarchy on the updated weighted graph (bit-
+// identity is then trivial). The weighted Δ-stepping fixpoint check is an
+// open ROADMAP item.
+func (h *Hierarchy) updateWeighted(b graph.Batch, visit func(*Level) error) (UpdateStats, error) {
+	newWG, ar, err := graph.ApplyBatchWeighted(h.WeightedGraph(), b)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	us := UpdateStats{
+		DirtyVertices:   len(ar.Dirty),
+		InsEdges:        len(ar.Inserted),
+		DelEdges:        len(ar.Deleted),
+		ReweightedEdges: len(ar.Reweighted),
+	}
+	if ar.Unchanged() {
+		us.Levels = h.res.Levels
+		us.Reused = h.res.Levels
+		return us, nil
+	}
+	err = h.deriveWeightedFrom(0, newWG, visit)
+	us.Rederived = h.res.Levels
+	us.Levels = h.res.Levels
+	return us, err
+}

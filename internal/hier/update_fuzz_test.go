@@ -1,0 +1,78 @@
+package hier
+
+import (
+	"testing"
+
+	"mpx/internal/core"
+	"mpx/internal/graph"
+	"mpx/internal/xrand"
+)
+
+// FuzzHierUpdate checks the incremental-maintenance contract on arbitrary
+// small instances: build a hierarchy, apply a fuzzer-chosen batch of edge
+// inserts and deletes through Hierarchy.Update, and require the result —
+// stats, final graph, vertex map, and every retained level — to be
+// bit-identical to a from-scratch build on the updated graph. This is the
+// fuzz companion of TestHierarchyUpdateBitIdentical: the fuzzer explores
+// batch shapes (no-ops, cut inserts, tree-edge deletes, total teardown)
+// that the golden suite only samples.
+func FuzzHierUpdate(f *testing.F) {
+	f.Add(uint16(40), uint16(80), uint64(1), byte(20), byte(0), uint64(7), byte(6), byte(4))
+	f.Add(uint16(3), uint16(1), uint64(7), byte(90), byte(1), uint64(0), byte(1), byte(1))
+	f.Add(uint16(120), uint16(400), uint64(42), byte(5), byte(2), uint64(99), byte(12), byte(12))
+	f.Add(uint16(64), uint16(0), uint64(3), byte(50), byte(5), uint64(5), byte(8), byte(0)) // edgeless base
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, seed uint64, betaRaw, modeRaw byte, batchSeed uint64, nInsRaw, nDelRaw byte) {
+		n := int(nRaw%200) + 2
+		maxM := int64(n) * int64(n-1) / 4
+		if maxM < 1 {
+			maxM = 1
+		}
+		m := int64(mRaw) % maxM
+		g := graph.GNM(n, m, seed)
+		beta := 0.02 + float64(betaRaw%96)/100
+		dir := []core.Direction{core.DirectionAuto, core.DirectionForcePush, core.DirectionForcePull}[modeRaw%3]
+		cfg := Config{
+			Beta:           beta,
+			Seed:           seed,
+			Workers:        1 + int(modeRaw%8),
+			Direction:      dir,
+			NeedEdgeOrig:   modeRaw%2 == 0,
+			NeedIntra:      modeRaw%4 < 2,
+			Residual:       modeRaw%5 == 4,
+			TrackVertexMap: modeRaw%2 == 0,
+			MaxLevels:      64,
+		}
+
+		h, err := BuildHierarchy(cfg, g, nil)
+		if err != nil && err != ErrMaxLevels {
+			t.Fatal(err)
+		}
+
+		var b graph.Batch
+		for i := 0; i < int(nInsRaw%16); i++ {
+			u := uint32(xrand.Mix(batchSeed, uint64(i)*2+1) % uint64(n))
+			v := uint32(xrand.Mix(batchSeed, uint64(i)*2+2) % uint64(n))
+			b.Insert = append(b.Insert, graph.Edge{U: u, V: v})
+		}
+		if edges := g.Edges(); len(edges) > 0 {
+			for i := 0; i < int(nDelRaw%16); i++ {
+				b.Delete = append(b.Delete, edges[xrand.Mix(batchSeed, 0xde1+uint64(i))%uint64(len(edges))])
+			}
+		}
+
+		_, uerr := h.Update(b, nil)
+		updated, _, err := graph.ApplyBatch(g, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, ferr := BuildHierarchy(cfg, updated, nil)
+		if (uerr != nil) != (ferr != nil) || (uerr == ErrMaxLevels) != (ferr == ErrMaxLevels) {
+			t.Fatalf("error mismatch: update=%v fresh=%v", uerr, ferr)
+		}
+		if uerr != nil && uerr != ErrMaxLevels {
+			return
+		}
+
+		requireHierIdentical(t, "fuzz", h, fresh)
+	})
+}

@@ -1,12 +1,11 @@
 package hier
 
 import (
+	"errors"
 	"math"
 
-	"mpx/internal/core"
 	"mpx/internal/graph"
 	"mpx/internal/parallel"
-	"mpx/internal/xrand"
 )
 
 // This file is the weighted mode of the hierarchy engine: the same
@@ -52,131 +51,20 @@ func RunWeighted(cfg Config, wg *graph.WeightedGraph, visit func(*Level) error) 
 // collection behave exactly as in Run; Level.G is the unweighted view of
 // Level.WG so OrigEdge works unchanged. Output is bit-identical at every
 // worker count and traversal direction for a fixed (wg, config).
+//
+// Like Run, this is a thin wrapper over the persistent Hierarchy
+// (update.go); BuildWeightedHierarchy retains the per-level state for
+// incremental maintenance.
 func (e *Engine) RunWeighted(wg *graph.WeightedGraph, visit func(*Level) error) (*Result, error) {
-	cfg := e.cfg
-	pool := cfg.Pool
-	res := &Result{}
-	n0 := wg.NumVertices()
-	if cfg.TrackVertexMap {
-		res.OrigMap = make([]uint32, n0)
-		pool.ForRange(cfg.Workers, n0, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				res.OrigMap[v] = uint32(v)
-			}
-		})
+	h := &Hierarchy{eng: e, res: &Result{}, weighted: true}
+	h.initOrigMap(wg.NumVertices())
+	if err := h.deriveWeightedFrom(0, wg, visit); err != nil {
+		if errors.Is(err, ErrMaxLevels) {
+			return h.res, err
+		}
+		return nil, err
 	}
-	cur := wg
-	curU := wg.Unweighted()
-	var orig []graph.Edge
-	e.rankFor = nil
-	for level := 0; cur.NumEdges() > 0; level++ {
-		if level >= cfg.maxLevels() {
-			res.WFinal = cur
-			res.Final = curU
-			return res, ErrMaxLevels
-		}
-		beta := cfg.wbetaAt(level, cur)
-		delta := cfg.deltaAt(level, cur)
-		if delta <= 0 {
-			// The Meyer–Sanders default (max weight / avg degree) matches the
-			// WEIGHT scale, but shifted distances live on the SHIFT scale
-			// Exp(β) — mean 1/β, range ~ln n/β. On AKPW schedules β shrinks
-			// geometrically, so a weight-scale Δ would make the bucket count
-			// (and the round count) explode exponentially with the level.
-			// Δ = 1/β keeps it at ~ln n buckets per level at every scale.
-			delta = 1 / beta
-		}
-		wd, err := core.PartitionWeightedParallel(cur, beta, delta, core.Options{
-			Seed:        xrand.Mix(cfg.Seed, uint64(level)),
-			Workers:     cfg.Workers,
-			Pool:        pool,
-			TieBreak:    cfg.TieBreak,
-			ShiftSource: cfg.ShiftSource,
-			Direction:   cfg.Direction,
-		})
-		if err != nil {
-			return nil, err
-		}
-		n := cur.NumVertices()
-		center := wd.Center
-		lv := Level{Index: level, G: curU, WG: cur, WD: wd, eng: e, orig: orig}
-
-		var next *graph.WeightedGraph
-		var nextOrig []graph.Edge
-		if cfg.Residual {
-			next, err = graph.CutWeightedSubgraphPool(pool, cfg.Workers, cur, center, &e.sc)
-			if err != nil {
-				return nil, err
-			}
-			lv.NumQuot = n
-		} else {
-			var quot []uint32
-			next, quot, err = graph.ContractWeightedClustersPool(pool, cfg.Workers, cur, center, &e.sc)
-			if err != nil {
-				return nil, err
-			}
-			lv.Quot = quot
-			lv.NumQuot = next.NumVertices()
-			if cfg.NeedEdgeOrig {
-				nextOrig = e.annotateContraction(curU, orig, center, quot, next.Unweighted())
-			}
-		}
-		if cfg.NeedIntra {
-			lv.IntraEdges = e.collectIntra(curU, orig, center)
-		}
-		if cfg.NeedEdgeOrig && orig != nil {
-			e.buildRank(curU)
-		}
-
-		stat := LevelStat{
-			Level:       level,
-			N:           n,
-			M:           cur.NumEdges(),
-			CutEdges:    e.sc.CutArcs / 2,
-			QuotientN:   lv.NumQuot,
-			Weighted:    true,
-			TotalWeight: TotalWeightOnPool(pool, cfg.Workers, cur),
-			Rounds:      wd.Rounds,
-		}
-		// Weighted contraction conserves cut weight exactly (parallel edges
-		// sum), so the next graph's total IS this level's cut weight.
-		stat.CutWeight = TotalWeightOnPool(pool, cfg.Workers, next)
-		stat.WMaxRadius, _ = pool.MaxFloat64(cfg.Workers, n, func(i int) float64 { return wd.Dist[i] })
-		stat.Clusters = int(pool.ReduceInt64(cfg.Workers, n, func(v int) int64 {
-			if center[v] == uint32(v) {
-				return 1
-			}
-			return 0
-		}))
-		if stat.M > 0 {
-			stat.CutFraction = float64(stat.CutEdges) / float64(stat.M)
-		}
-		if stat.TotalWeight > 0 {
-			stat.CutWeightFraction = stat.CutWeight / stat.TotalWeight
-		}
-
-		if visit != nil {
-			if err := visit(&lv); err != nil {
-				return nil, err
-			}
-		}
-		res.Stats = append(res.Stats, stat)
-		res.Levels++
-		if cfg.TrackVertexMap && !cfg.Residual {
-			quot := lv.Quot
-			pool.ForRange(cfg.Workers, n0, func(lo, hi int) {
-				for v := lo; v < hi; v++ {
-					res.OrigMap[v] = quot[res.OrigMap[v]]
-				}
-			})
-		}
-		cur = next
-		curU = next.Unweighted()
-		orig = nextOrig
-	}
-	res.WFinal = cur
-	res.Final = curU
-	return res, nil
+	return h.res, nil
 }
 
 // TotalWeightOnPool sums the undirected edge weights of wg as a pooled
