@@ -1,0 +1,40 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseUpdateTrace hammers the -updates trace parser with arbitrary
+// input: it must never panic, and every batch it accepts must satisfy the
+// graph.Batch invariants the replay driver assumes — InsertW either empty
+// or covering every insert, and every weight finite and positive.
+func FuzzParseUpdateTrace(f *testing.F) {
+	f.Add("+ 0 5\n- 1 2\n---\n+ 3 4 2.5\n")
+	f.Add("# comment only\n")
+	f.Add("+ 1 2 NaN\n")
+	f.Add("+ 1 2 +Inf\n")
+	f.Add("+ 1 2 -0\n")
+	f.Add("+ 1 2\n+ 3 4 1.5\n")
+	f.Add("- 4294967295 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		batches, err := parseUpdateTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for i, b := range batches {
+			if b.Len() == 0 {
+				t.Fatalf("batch %d is empty", i)
+			}
+			if len(b.InsertW) != 0 && len(b.InsertW) != len(b.Insert) {
+				t.Fatalf("batch %d: %d weights for %d inserts", i, len(b.InsertW), len(b.Insert))
+			}
+			for _, w := range b.InsertW {
+				if !(w > 0) || math.IsInf(w, 0) {
+					t.Fatalf("batch %d: parser accepted weight %v", i, w)
+				}
+			}
+		}
+	})
+}

@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mpx/internal/apps/blocks"
 	"mpx/internal/apps/connectivity"
@@ -53,6 +56,7 @@ func main() {
 		pngPath   = flag.String("png", "", "write cluster coloring PNG (grid generators only)")
 		validate  = flag.Bool("validate", false, "run full O(m) decomposition validation")
 		updates   = flag.String("updates", "", "replay a batched edge-update trace against an incrementally maintained app (lowstretch|blocks|embedding); see cmd/mpx/updates.go for the format")
+		timeout   = flag.Duration("timeout", 0, "overall deadline (e.g. 30s); cancels the parallel engines at the next round/level boundary and exits non-zero, discarding partial work (0 = none)")
 	)
 	flag.Parse()
 
@@ -137,6 +141,29 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if explicit["timeout"] && *timeout <= 0 {
+		fmt.Fprintln(os.Stderr, "mpx: -timeout must be a positive duration (e.g. 30s)")
+		os.Exit(2)
+	}
+	// The serial baselines never poll a context, so a -timeout there would
+	// silently do nothing — reject it like any other ignored flag.
+	if explicit["timeout"] && *app == "partition" {
+		switch *algo {
+		case "mpx", "weighted-par":
+		default:
+			fmt.Fprintf(os.Stderr, "mpx: -timeout cancels the parallel engines; -algo %s is serial and ignores it\n", *algo)
+			os.Exit(2)
+		}
+	}
+
+	// ctx carries the -timeout deadline into every engine below; nil (the
+	// engines' "never cancelled") when no deadline was requested.
+	var ctx context.Context
+	if *timeout > 0 {
+		tctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		ctx = tctx
+	}
 
 	// Weighted hierarchy apps build their graph once (a weighted DIMACS
 	// file is parsed a single time, weights included) and run before the
@@ -149,9 +176,8 @@ func main() {
 		}
 		pool := parallel.NewPool(0)
 		defer pool.Close()
-		if err := runWeightedApp(*app, pool, wg, *beta, *seed, *workers, dir, *wmax, *in != "" && *dimacs); err != nil {
-			fmt.Fprintln(os.Stderr, "mpx:", err)
-			os.Exit(1)
+		if err := runWeightedApp(ctx, *app, pool, wg, *beta, *seed, *workers, dir, *wmax, *in != "" && *dimacs); err != nil {
+			fail(err, *timeout)
 		}
 		return
 	}
@@ -165,7 +191,7 @@ func main() {
 	// of every algorithm below executes on it.
 	pool := parallel.NewPool(0)
 	defer pool.Close()
-	opts := core.Options{Seed: *seed, Workers: *workers, TieBreak: tieBreak, Direction: dir, Pool: pool}
+	opts := core.Options{Ctx: ctx, Seed: *seed, Workers: *workers, TieBreak: tieBreak, Direction: dir, Pool: pool}
 
 	if *updates != "" {
 		f, err := os.Open(*updates)
@@ -179,17 +205,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mpx:", err)
 			os.Exit(1)
 		}
-		if err := runUpdates(*app, pool, g, *beta, *seed, *workers, dir, batches); err != nil {
-			fmt.Fprintln(os.Stderr, "mpx:", err)
-			os.Exit(1)
+		if err := runUpdates(ctx, *app, pool, g, *beta, *seed, *workers, dir, batches); err != nil {
+			fail(err, *timeout)
 		}
 		return
 	}
 
 	if *app != "partition" {
-		if err := runApp(*app, pool, g, *beta, *seed, *workers, dir, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "mpx:", err)
-			os.Exit(1)
+		if err := runApp(ctx, *app, pool, g, *beta, *seed, *workers, dir, opts); err != nil {
+			fail(err, *timeout)
 		}
 		return
 	}
@@ -203,8 +227,7 @@ func main() {
 			wd, err = core.PartitionWeightedParallel(wg, *beta, 0, opts)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mpx:", err)
-			os.Exit(1)
+			fail(err, *timeout)
 		}
 		fmt.Printf("graph: n=%d m=%d (weights U(1,%g))\n", g.NumVertices(), g.NumEdges(), *wmax)
 		if *algo == "weighted-par" {
@@ -242,8 +265,7 @@ func main() {
 		panic("unreachable: -algo validated against validAlgos above")
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mpx:", err)
-		os.Exit(1)
+		fail(err, *timeout)
 	}
 
 	report(g, d, *beta)
@@ -274,6 +296,17 @@ func main() {
 		}
 		fmt.Println("wrote", *pngPath)
 	}
+}
+
+// fail prints err and exits non-zero. A -timeout deadline gets a dedicated
+// message so a cancelled run is unambiguous in logs and scripts.
+func fail(err error, timeout time.Duration) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "mpx: timed out after %v (-timeout): cancelled at an engine boundary, partial work discarded\n", timeout)
+	} else {
+		fmt.Fprintln(os.Stderr, "mpx:", err)
+	}
+	os.Exit(1)
 }
 
 func buildGraph(in string, dimacs bool, gen string, rows, cols, n int, m int64, scale int, seed uint64) (*graph.Graph, int, int, error) {
@@ -343,7 +376,7 @@ func loadWeightedGraph(in string, dimacs bool, gen string, rows, cols, n int, m 
 // the true AKPW low-stretch tree, the weighted Linial–Saks blocks, or the
 // weighted tree-metric embedding — printing the per-level weighted
 // hierarchy statistics.
-func runWeightedApp(app string, pool *parallel.Pool, wg *graph.WeightedGraph, beta float64, seed uint64, workers int, dir core.Direction, wmax float64, fromFile bool) error {
+func runWeightedApp(ctx context.Context, app string, pool *parallel.Pool, wg *graph.WeightedGraph, beta float64, seed uint64, workers int, dir core.Direction, wmax float64, fromFile bool) error {
 	if fromFile {
 		fmt.Printf("graph: n=%d m=%d (weighted input)\n", wg.NumVertices(), wg.NumEdges())
 	} else {
@@ -351,7 +384,7 @@ func runWeightedApp(app string, pool *parallel.Pool, wg *graph.WeightedGraph, be
 	}
 	switch app {
 	case "lowstretch":
-		tr, err := lowstretch.BuildWeightedPool(pool, wg, beta, seed, workers, dir)
+		tr, err := lowstretch.BuildWeightedPoolCtx(ctx, pool, wg, beta, seed, workers, dir)
 		if err != nil {
 			return err
 		}
@@ -360,14 +393,14 @@ func runWeightedApp(app string, pool *parallel.Pool, wg *graph.WeightedGraph, be
 			tr.Levels, len(tr.ClassHistogram), len(tr.Edges), st.Mean, st.Max, dir)
 		printHierStats(tr.Stats)
 	case "blocks":
-		bd, err := blocks.DecomposeWeightedPool(pool, wg, beta, seed, 0, workers, dir)
+		bd, err := blocks.DecomposeWeightedPoolCtx(ctx, pool, wg, beta, seed, 0, workers, dir)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("blocks: blocks=%d edges=%d direction=%s\n", bd.NumBlocks(), bd.EdgeCount(), dir)
 		printHierStats(bd.Stats)
 	case "embedding":
-		tr, err := embedding.BuildWeightedPool(pool, wg, 0, seed, workers, dir)
+		tr, err := embedding.BuildWeightedPoolCtx(ctx, pool, wg, 0, seed, workers, dir)
 		if err != nil {
 			return err
 		}
@@ -384,11 +417,11 @@ func runWeightedApp(app string, pool *parallel.Pool, wg *graph.WeightedGraph, be
 // runApp drives one of the hierarchy applications on the shared process
 // pool, honoring -beta, -seed, -workers and -direction, and prints the
 // per-level hierarchy statistics the internal/hier engine records.
-func runApp(app string, pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction, opts core.Options) error {
+func runApp(ctx context.Context, app string, pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction, opts core.Options) error {
 	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
 	switch app {
 	case "connectivity":
-		r, err := connectivity.ComponentsPool(pool, g, beta, seed, workers, dir)
+		r, err := connectivity.ComponentsPoolCtx(ctx, pool, g, beta, seed, workers, dir)
 		if err != nil {
 			return err
 		}
@@ -408,7 +441,7 @@ func runApp(app string, pool *parallel.Pool, g *graph.Graph, beta float64, seed 
 			CutFraction: d.CutFraction(), QuotientN: d.NumClusters(),
 		}})
 	case "lowstretch":
-		tr, err := lowstretch.BuildPool(pool, g, beta, seed, workers, dir)
+		tr, err := lowstretch.BuildPoolCtx(ctx, pool, g, beta, seed, workers, dir)
 		if err != nil {
 			return err
 		}
@@ -417,14 +450,14 @@ func runApp(app string, pool *parallel.Pool, g *graph.Graph, beta float64, seed 
 			tr.Levels, len(tr.Edges), st.Mean, st.Max, dir)
 		printHierStats(tr.Stats)
 	case "blocks":
-		bd, err := blocks.DecomposePool(pool, g, beta, seed, 0, workers, dir)
+		bd, err := blocks.DecomposePoolCtx(ctx, pool, g, beta, seed, 0, workers, dir)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("blocks: blocks=%d edges=%d direction=%s\n", bd.NumBlocks(), bd.EdgeCount(), dir)
 		printHierStats(bd.Stats)
 	case "separator":
-		r, err := separator.FindPool(pool, g, beta, 2.0/3, seed, workers, dir)
+		r, err := separator.FindPoolCtx(ctx, pool, g, beta, 2.0/3, seed, workers, dir)
 		if err != nil {
 			return err
 		}
@@ -432,7 +465,7 @@ func runApp(app string, pool *parallel.Pool, g *graph.Graph, beta float64, seed 
 			len(r.Separator), len(r.SideA), len(r.SideB), r.Balance, r.Beta, r.Pieces, dir)
 		printHierStats(r.Stats)
 	case "embedding":
-		tr, err := embedding.BuildPool(pool, g, 0, seed, workers, dir)
+		tr, err := embedding.BuildPoolCtx(ctx, pool, g, 0, seed, workers, dir)
 		if err != nil {
 			return err
 		}

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -72,6 +74,9 @@ func parseUpdateTrace(r io.Reader) ([]graph.Batch, error) {
 				if err != nil {
 					return nil, fmt.Errorf("trace line %d: bad weight %q: %v", lineNo, fields[3], err)
 				}
+				if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+					return nil, fmt.Errorf("trace line %d: weight %q is not a finite positive number", lineNo, fields[3])
+				}
 				cur.InsertW = append(cur.InsertW, w)
 			} else if len(cur.InsertW) > 0 {
 				return nil, fmt.Errorf("trace line %d: batch mixes weighted and unweighted inserts", lineNo)
@@ -109,7 +114,7 @@ func parseUpdateTrace(r io.Reader) ([]graph.Batch, error) {
 // The maintained structure is bit-identical after every batch to a
 // from-scratch build on the updated graph (the incremental contract), so
 // the final summary line matches a plain run on the final graph.
-func runUpdates(app string, pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction, batches []graph.Batch) error {
+func runUpdates(ctx context.Context, app string, pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction, batches []graph.Batch) error {
 	for i, b := range batches {
 		if len(b.InsertW) > 0 {
 			return fmt.Errorf("trace batch %d has weighted inserts; -updates replays unweighted hierarchies (drop the weight column)", i)
@@ -118,12 +123,12 @@ func runUpdates(app string, pool *parallel.Pool, g *graph.Graph, beta float64, s
 	fmt.Printf("graph: n=%d m=%d batches=%d\n", g.NumVertices(), g.NumEdges(), len(batches))
 	switch app {
 	case "lowstretch":
-		inc, err := lowstretch.BuildIncrementalPool(pool, g, beta, seed, workers, dir)
+		inc, err := lowstretch.BuildIncrementalPoolCtx(ctx, pool, g, beta, seed, workers, dir)
 		if err != nil {
 			return err
 		}
 		for i, b := range batches {
-			us, err := inc.Update(b)
+			us, err := inc.UpdateCtx(ctx, b)
 			if err != nil {
 				return fmt.Errorf("batch %d: %v", i, err)
 			}
@@ -135,12 +140,12 @@ func runUpdates(app string, pool *parallel.Pool, g *graph.Graph, beta float64, s
 			tr.Levels, len(tr.Edges), st.Mean, st.Max, dir)
 		printHierStats(tr.Stats)
 	case "blocks":
-		inc, err := blocks.BuildIncrementalPool(pool, g, beta, seed, 0, workers, dir)
+		inc, err := blocks.BuildIncrementalPoolCtx(ctx, pool, g, beta, seed, 0, workers, dir)
 		if err != nil {
 			return err
 		}
 		for i, b := range batches {
-			us, err := inc.Update(b)
+			us, err := inc.UpdateCtx(ctx, b)
 			if err != nil {
 				return fmt.Errorf("batch %d: %v", i, err)
 			}
@@ -150,12 +155,12 @@ func runUpdates(app string, pool *parallel.Pool, g *graph.Graph, beta float64, s
 		fmt.Printf("blocks: blocks=%d edges=%d direction=%s\n", bd.NumBlocks(), bd.EdgeCount(), dir)
 		printHierStats(bd.Stats)
 	case "embedding":
-		inc, err := embedding.BuildIncrementalPool(pool, g, 0, seed, workers, dir)
+		inc, err := embedding.BuildIncrementalPoolCtx(ctx, pool, g, 0, seed, workers, dir)
 		if err != nil {
 			return err
 		}
 		for i, b := range batches {
-			us, err := inc.Update(b)
+			us, err := inc.UpdateCtx(ctx, b)
 			if err != nil {
 				return fmt.Errorf("batch %d: %v", i, err)
 			}

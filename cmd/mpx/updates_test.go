@@ -72,6 +72,10 @@ func TestParseUpdateTraceErrors(t *testing.T) {
 		{"bad vertex", "+ 1 x\n", `line 1: bad vertex "x"`},
 		{"negative vertex", "+ -1 2\n", `line 1: bad vertex "-1"`},
 		{"bad weight", "+ 1 2 heavy\n", `line 1: bad weight "heavy"`},
+		{"nan weight", "+ 1 2 NaN\n", `line 1: weight "NaN" is not a finite positive number`},
+		{"inf weight", "+ 1 2 +Inf\n", `line 1: weight "+Inf" is not a finite positive number`},
+		{"zero weight", "+ 1 2 0\n", `line 1: weight "0" is not a finite positive number`},
+		{"negative weight", "+ 1 2 -1.5\n", `line 1: weight "-1.5" is not a finite positive number`},
 		{"mixed weights", "+ 1 2\n+ 3 4 1.5\n", "line 2: batch mixes weighted and unweighted"},
 		{"mixed weights reversed", "+ 1 2 1.5\n+ 3 4\n", "line 2: batch mixes weighted and unweighted"},
 		{"empty", "# nothing\n\n---\n", "no batches"},
@@ -99,19 +103,19 @@ func TestRunUpdatesReplay(t *testing.T) {
 	}
 	for _, app := range []string{"lowstretch", "blocks", "embedding"} {
 		g := graph.Grid2D(12, 12)
-		if err := runUpdates(app, nil, g, 0.3, 1, 2, 0, batches); err != nil {
+		if err := runUpdates(nil, app, nil, g, 0.3, 1, 2, 0, batches); err != nil {
 			t.Fatalf("%s: %v", app, err)
 		}
 	}
 	g := graph.Grid2D(8, 8)
-	if err := runUpdates("partition", nil, g, 0.3, 1, 2, 0, batches); err == nil {
+	if err := runUpdates(nil, "partition", nil, g, 0.3, 1, 2, 0, batches); err == nil {
 		t.Fatal("unsupported app must error")
 	}
 	weightedBatch, err := parseUpdateTrace(strings.NewReader("+ 1 2 4.5\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := runUpdates("lowstretch", nil, g, 0.3, 1, 2, 0, weightedBatch); err == nil {
+	if err := runUpdates(nil, "lowstretch", nil, g, 0.3, 1, 2, 0, weightedBatch); err == nil {
 		t.Fatal("weighted trace must error on unweighted replay")
 	}
 }

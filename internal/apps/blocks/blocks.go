@@ -18,6 +18,8 @@
 package blocks
 
 import (
+	"context"
+
 	"mpx/internal/core"
 	"mpx/internal/graph"
 	"mpx/internal/hier"
@@ -57,6 +59,13 @@ func Decompose(g *graph.Graph, beta float64, seed uint64, maxIters int) (*Decomp
 // traversal direction. For a fixed (g, beta, seed) the blocks are
 // bit-identical at every worker count and direction.
 func DecomposePool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, maxIters, workers int, dir core.Direction) (*Decomposition, error) {
+	return DecomposePoolCtx(nil, pool, g, beta, seed, maxIters, workers, dir)
+}
+
+// DecomposePoolCtx is DecomposePool with a cancellation context (nil means
+// never cancelled), polled at level and partition-round boundaries; a
+// cancelled run returns (nil, ctx.Err()) with no partial decomposition.
+func DecomposePoolCtx(ctx context.Context, pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, maxIters, workers int, dir core.Direction) (*Decomposition, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
@@ -69,6 +78,7 @@ func DecomposePool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint6
 	}
 	centerSeen := parallel.NewBitset(g.NumVertices())
 	res, err := hier.Run(hier.Config{
+		Ctx:       ctx,
 		Beta:      beta,
 		Seed:      seed,
 		Workers:   workers,

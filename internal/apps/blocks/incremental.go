@@ -1,6 +1,8 @@
 package blocks
 
 import (
+	"context"
+
 	"mpx/internal/core"
 	"mpx/internal/graph"
 	"mpx/internal/hier"
@@ -36,6 +38,13 @@ func BuildIncremental(g *graph.Graph, beta float64, seed uint64, maxIters int) (
 // BuildIncrementalPool is DecomposePool retaining the hierarchy for
 // incremental maintenance.
 func BuildIncrementalPool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, maxIters, workers int, dir core.Direction) (*Incremental, error) {
+	return BuildIncrementalPoolCtx(nil, pool, g, beta, seed, maxIters, workers, dir)
+}
+
+// BuildIncrementalPoolCtx is BuildIncrementalPool with a cancellation
+// context (nil means never cancelled) covering the initial build; per-call
+// update deadlines go through UpdateCtx.
+func BuildIncrementalPoolCtx(ctx context.Context, pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, maxIters, workers int, dir core.Direction) (*Incremental, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
@@ -52,6 +61,7 @@ func BuildIncrementalPool(pool *parallel.Pool, g *graph.Graph, beta float64, see
 		centerSeen: parallel.NewBitset(g.NumVertices()),
 	}
 	h, err := hier.BuildHierarchy(hier.Config{
+		Ctx:       ctx,
 		Beta:      beta,
 		Seed:      seed,
 		Workers:   workers,
@@ -80,7 +90,15 @@ func (inc *Incremental) Decomposition() *Decomposition { return inc.dec }
 // residual levels whose inputs changed and recomputing only their blocks.
 // An error leaves the structure inconsistent; discard it.
 func (inc *Incremental) Update(b graph.Batch) (hier.UpdateStats, error) {
-	us, err := inc.h.Update(b, inc.capture)
+	return inc.UpdateCtx(nil, b)
+}
+
+// UpdateCtx is Update with a per-call cancellation context (nil means
+// never cancelled). A cancellation or contained panic before the
+// hierarchy commits leaves the structure untouched and the batch safely
+// retryable; an error after commit leaves it inconsistent — discard it.
+func (inc *Incremental) UpdateCtx(ctx context.Context, b graph.Batch) (hier.UpdateStats, error) {
+	us, err := inc.h.UpdateCtx(ctx, b, inc.capture)
 	if err == hier.ErrMaxLevels {
 		return us, core.ErrBeta
 	}

@@ -11,6 +11,8 @@ package blocks
 // the weighted analogue of the halving argument.
 
 import (
+	"context"
+
 	"mpx/internal/core"
 	"mpx/internal/graph"
 	"mpx/internal/hier"
@@ -56,6 +58,14 @@ func DecomposeWeighted(wg *graph.WeightedGraph, beta float64, seed uint64, maxIt
 // For a fixed (wg, beta, seed) the blocks are bit-identical at every
 // worker count and direction.
 func DecomposeWeightedPool(pool *parallel.Pool, wg *graph.WeightedGraph, beta float64, seed uint64, maxIters, workers int, dir core.Direction) (*WeightedDecomposition, error) {
+	return DecomposeWeightedPoolCtx(nil, pool, wg, beta, seed, maxIters, workers, dir)
+}
+
+// DecomposeWeightedPoolCtx is DecomposeWeightedPool with a cancellation
+// context (nil means never cancelled), polled at level and Δ-stepping
+// round boundaries; a cancelled run returns (nil, ctx.Err()) with no
+// partial decomposition.
+func DecomposeWeightedPoolCtx(ctx context.Context, pool *parallel.Pool, wg *graph.WeightedGraph, beta float64, seed uint64, maxIters, workers int, dir core.Direction) (*WeightedDecomposition, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
@@ -83,6 +93,7 @@ func DecomposeWeightedPool(pool *parallel.Pool, wg *graph.WeightedGraph, beta fl
 	}
 	centerSeen := parallel.NewBitset(wg.NumVertices())
 	res, err := hier.RunWeighted(hier.Config{
+		Ctx:       ctx,
 		WBetaAt:   betaAt,
 		Seed:      seed,
 		Workers:   workers,

@@ -11,6 +11,7 @@
 package connectivity
 
 import (
+	"context"
 	"errors"
 
 	"mpx/internal/core"
@@ -49,6 +50,14 @@ func Components(g *graph.Graph, beta float64, seed uint64, workers int) (*Result
 // original→quotient vertex relabeling all execute on the same pool
 // instance with reused scratch.
 func ComponentsPool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction) (*Result, error) {
+	return ComponentsPoolCtx(nil, pool, g, beta, seed, workers, dir)
+}
+
+// ComponentsPoolCtx is ComponentsPool with a cancellation context (nil
+// means never cancelled), polled at contraction-round and partition-round
+// boundaries; a cancelled run returns (nil, ctx.Err()) with no partial
+// labeling.
+func ComponentsPoolCtx(ctx context.Context, pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction) (*Result, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
@@ -58,6 +67,7 @@ func ComponentsPool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint
 		return res, nil
 	}
 	hres, err := hier.Run(hier.Config{
+		Ctx:            ctx,
 		Beta:           beta,
 		Seed:           seed,
 		Workers:        workers,

@@ -14,6 +14,7 @@
 package embedding
 
 import (
+	"context"
 	"math"
 
 	"mpx/internal/bfs"
@@ -53,8 +54,24 @@ func Build(g *graph.Graph, diam0 float64, seed uint64) (*Tree, error) {
 // of a composite-key map. For a fixed (g, diam0, seed) the embedding is
 // bit-identical at every worker count and direction.
 func BuildPool(pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, workers int, dir core.Direction) (*Tree, error) {
-	t, _, err := buildTree(pool, g, diam0, seed, workers, dir, false)
+	t, _, err := buildTree(nil, pool, g, diam0, seed, workers, dir, false)
 	return t, err
+}
+
+// BuildPoolCtx is BuildPool with a cancellation context (nil means never
+// cancelled), polled at every level and partition-round boundary; a
+// cancelled build returns (nil, ctx.Err()) with no partial tree.
+func BuildPoolCtx(ctx context.Context, pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, workers int, dir core.Direction) (*Tree, error) {
+	t, _, err := buildTree(ctx, pool, g, diam0, seed, workers, dir, false)
+	return t, err
+}
+
+// ctxErr polls ctx at a level boundary; a nil ctx is never cancelled.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // levelPartition is what the incremental embedding retains per partition
@@ -80,7 +97,7 @@ func resolveDiam0(g *graph.Graph, diam0 float64) float64 {
 // buildTree is the shared level loop behind BuildPool and
 // BuildIncrementalPool; retain additionally returns the per-level
 // decompositions for incremental maintenance.
-func buildTree(pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, workers int, dir core.Direction, retain bool) (*Tree, []levelPartition, error) {
+func buildTree(ctx context.Context, pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, workers int, dir core.Direction, retain bool) (*Tree, []levelPartition, error) {
 	n := g.NumVertices()
 	t := &Tree{G: g}
 	if n == 0 {
@@ -97,8 +114,12 @@ func buildTree(pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, 
 	target := diam0
 	level := 0
 	for target >= 1 {
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, err
+		}
 		beta := math.Min(0.9, 2*logn/target)
 		d, err := core.Partition(g, beta, core.Options{
+			Ctx:       ctx,
 			Seed:      xrand.Mix(seed, uint64(level)),
 			Workers:   workers,
 			Pool:      pool,

@@ -1,6 +1,8 @@
 package embedding
 
 import (
+	"context"
+
 	"mpx/internal/core"
 	"mpx/internal/graph"
 	"mpx/internal/hier"
@@ -52,8 +54,15 @@ func BuildIncremental(g *graph.Graph, diam0 float64, seed uint64) (*Incremental,
 // BuildIncrementalPool is BuildPool retaining the per-level decompositions
 // for incremental maintenance.
 func BuildIncrementalPool(pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, workers int, dir core.Direction) (*Incremental, error) {
+	return BuildIncrementalPoolCtx(nil, pool, g, diam0, seed, workers, dir)
+}
+
+// BuildIncrementalPoolCtx is BuildIncrementalPool with a cancellation
+// context (nil means never cancelled) covering the initial build; per-call
+// update deadlines go through UpdateCtx.
+func BuildIncrementalPoolCtx(ctx context.Context, pool *parallel.Pool, g *graph.Graph, diam0 float64, seed uint64, workers int, dir core.Direction) (*Incremental, error) {
 	diam0 = resolveDiam0(g, diam0)
-	t, parts, err := buildTree(pool, g, diam0, seed, workers, dir, true)
+	t, parts, err := buildTree(ctx, pool, g, diam0, seed, workers, dir, true)
 	if err != nil {
 		return nil, err
 	}
@@ -79,6 +88,16 @@ func (inc *Incremental) Tree() *Tree { return inc.t }
 // refreshes its M-dependent stats. An error leaves the structure
 // inconsistent; discard it.
 func (inc *Incremental) Update(b graph.Batch) (UpdateStats, error) {
+	return inc.UpdateCtx(nil, b)
+}
+
+// UpdateCtx is Update with a per-call cancellation context (nil means
+// never cancelled), polled at every level boundary and inside each
+// re-partition. Unlike the contraction hierarchies, the embedding refreshes
+// its levels in place, so a cancellation that strikes after the first level
+// committed leaves the structure inconsistent exactly like any other
+// Update error — discard it.
+func (inc *Incremental) UpdateCtx(ctx context.Context, b graph.Batch) (UpdateStats, error) {
 	t := inc.t
 	newG, ar, err := graph.ApplyBatch(t.G, b)
 	if err != nil {
@@ -93,12 +112,16 @@ func (inc *Incremental) Update(b graph.Batch) (UpdateStats, error) {
 	ins, del := ar.Inserted, ar.Deleted
 	assignChanged := false
 	for l := range inc.parts {
+		if err := ctxErr(ctx); err != nil {
+			return us, err
+		}
 		lp := &inc.parts[l]
 		verified := lp.d.UnchangedUnder(ins, del)
 		if verified {
 			lp.d.G = newG
 		} else {
 			d, err := core.Partition(newG, lp.beta, core.Options{
+				Ctx:       ctx,
 				Seed:      xrand.Mix(inc.seed, uint64(l)),
 				Workers:   inc.workers,
 				Pool:      inc.pool,

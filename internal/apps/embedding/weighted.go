@@ -10,6 +10,7 @@ package embedding
 // the weighted shortest-path metric.
 
 import (
+	"context"
 	"math"
 
 	"mpx/internal/bfs"
@@ -51,6 +52,14 @@ func BuildWeighted(wg *graph.WeightedGraph, diam0 float64, seed uint64) (*Weight
 // seed) the embedding is bit-identical at every worker count and
 // direction.
 func BuildWeightedPool(pool *parallel.Pool, wg *graph.WeightedGraph, diam0 float64, seed uint64, workers int, dir core.Direction) (*WeightedTree, error) {
+	return BuildWeightedPoolCtx(nil, pool, wg, diam0, seed, workers, dir)
+}
+
+// BuildWeightedPoolCtx is BuildWeightedPool with a cancellation context
+// (nil means never cancelled), polled at every level and Δ-stepping round
+// boundary; a cancelled build returns (nil, ctx.Err()) with no partial
+// tree.
+func BuildWeightedPoolCtx(ctx context.Context, pool *parallel.Pool, wg *graph.WeightedGraph, diam0 float64, seed uint64, workers int, dir core.Direction) (*WeightedTree, error) {
 	n := wg.NumVertices()
 	t := &WeightedTree{G: wg}
 	if n == 0 {
@@ -73,8 +82,12 @@ func BuildWeightedPool(pool *parallel.Pool, wg *graph.WeightedGraph, diam0 float
 	target := diam0
 	level := 0
 	for target >= wmin {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		beta := math.Min(0.9, 2*logn/target)
 		d, err := core.PartitionWeightedParallel(wg, beta, 1/beta, core.Options{
+			Ctx:       ctx,
 			Seed:      xrand.Mix(seed, uint64(level)),
 			Workers:   workers,
 			Pool:      pool,

@@ -1,6 +1,7 @@
 package lowstretch
 
 import (
+	"context"
 	"errors"
 
 	"mpx/internal/core"
@@ -39,11 +40,19 @@ func BuildIncremental(g *graph.Graph, beta float64, seed uint64) (*Incremental, 
 // subsequent Update leaves Tree bit-identical to BuildPool on the updated
 // graph.
 func BuildIncrementalPool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction) (*Incremental, error) {
+	return BuildIncrementalPoolCtx(nil, pool, g, beta, seed, workers, dir)
+}
+
+// BuildIncrementalPoolCtx is BuildIncrementalPool with a cancellation
+// context (nil means never cancelled) covering the initial build; per-call
+// update deadlines go through UpdateCtx.
+func BuildIncrementalPoolCtx(ctx context.Context, pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction) (*Incremental, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
 	inc := &Incremental{tree: &Tree{G: g}}
 	h, err := hier.BuildHierarchy(hier.Config{
+		Ctx:          ctx,
 		Beta:         beta,
 		Seed:         seed,
 		Workers:      workers,
@@ -74,8 +83,18 @@ func (inc *Incremental) Tree() *Tree { return inc.tree }
 // edge set actually moved. An error leaves the structure inconsistent;
 // discard it.
 func (inc *Incremental) Update(b graph.Batch) (hier.UpdateStats, error) {
+	return inc.UpdateCtx(nil, b)
+}
+
+// UpdateCtx is Update with a per-call cancellation context (nil means
+// never cancelled). A cancellation or contained panic that strikes before
+// the hierarchy commits leaves the whole structure untouched (retry the
+// batch freely — the underlying Hierarchy.UpdateCtx is all-or-nothing and
+// no visits have been delivered); an error after commit, like every other
+// Update error, leaves the structure inconsistent — discard it.
+func (inc *Incremental) UpdateCtx(ctx context.Context, b graph.Batch) (hier.UpdateStats, error) {
 	inc.edgesChanged = false
-	us, err := inc.h.Update(b, inc.capture)
+	us, err := inc.h.UpdateCtx(ctx, b, inc.capture)
 	if err == hier.ErrMaxLevels {
 		return us, errors.New("lowstretch: contraction failed to converge")
 	}

@@ -20,6 +20,7 @@
 package lowstretch
 
 import (
+	"context"
 	"errors"
 
 	"mpx/internal/core"
@@ -60,6 +61,15 @@ func Build(g *graph.Graph, beta float64, seed uint64) (*Tree, error) {
 // the pool via the internal/hier engine. For a fixed (g, beta, seed) the
 // resulting forest is bit-identical at every worker count and direction.
 func BuildPool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction) (*Tree, error) {
+	return BuildPoolCtx(nil, pool, g, beta, seed, workers, dir)
+}
+
+// BuildPoolCtx is BuildPool with a cancellation context (nil means never
+// cancelled): ctx is polled at every hierarchy level and partition-round
+// boundary, and a cancelled build returns (nil, ctx.Err()) with no partial
+// tree. Panics escaping the pooled kernels surface as *parallel.PanicError
+// errors; see docs/robustness.md.
+func BuildPoolCtx(ctx context.Context, pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, workers int, dir core.Direction) (*Tree, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
@@ -68,6 +78,7 @@ func BuildPool(pool *parallel.Pool, g *graph.Graph, beta float64, seed uint64, w
 		return t, nil
 	}
 	res, err := hier.Run(hier.Config{
+		Ctx:          ctx,
 		Beta:         beta,
 		Seed:         seed,
 		Workers:      workers,

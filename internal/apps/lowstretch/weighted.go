@@ -16,6 +16,7 @@ package lowstretch
 // edge weights (graph.ContractWeightedClustersPool).
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -71,6 +72,14 @@ func BuildWeighted(wg *graph.WeightedGraph, beta float64, seed uint64) (*Weighte
 // y per level — the AKPW progression. For a fixed (wg, beta, seed) the
 // forest is bit-identical at every worker count and direction.
 func BuildWeightedPool(pool *parallel.Pool, wg *graph.WeightedGraph, beta float64, seed uint64, workers int, dir core.Direction) (*WeightedTree, error) {
+	return BuildWeightedPoolCtx(nil, pool, wg, beta, seed, workers, dir)
+}
+
+// BuildWeightedPoolCtx is BuildWeightedPool with a cancellation context
+// (nil means never cancelled), polled at level and Δ-stepping round
+// boundaries; a cancelled build returns (nil, ctx.Err()) with no partial
+// forest.
+func BuildWeightedPoolCtx(ctx context.Context, pool *parallel.Pool, wg *graph.WeightedGraph, beta float64, seed uint64, workers int, dir core.Direction) (*WeightedTree, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
@@ -103,6 +112,7 @@ func BuildWeightedPool(pool *parallel.Pool, wg *graph.WeightedGraph, beta float6
 	maxLevels += 16
 
 	res, err := hier.RunWeighted(hier.Config{
+		Ctx: ctx,
 		WBetaAt: func(level int, _ *graph.WeightedGraph) float64 {
 			return clampBeta(beta / (wmin * math.Pow(akpwClassGrowth, float64(level))))
 		},

@@ -22,6 +22,7 @@
 package separator
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 
@@ -73,6 +74,14 @@ func Find(g *graph.Graph, beta float64, maxImbalance float64, seed uint64) (*Res
 // parallel.Default()) with an explicit logical worker count and traversal
 // direction.
 func FindPool(pool *parallel.Pool, g *graph.Graph, beta, maxImbalance float64, seed uint64, workers int, dir core.Direction) (*Result, error) {
+	return FindPoolCtx(nil, pool, g, beta, maxImbalance, seed, workers, dir)
+}
+
+// FindPoolCtx is FindPool with a cancellation context (nil means never
+// cancelled), polled at partition-round boundaries and between β retries
+// of the auto-tuning loop; a cancelled run returns (nil, ctx.Err()) with
+// no partial separator.
+func FindPoolCtx(ctx context.Context, pool *parallel.Pool, g *graph.Graph, beta, maxImbalance float64, seed uint64, workers int, dir core.Direction) (*Result, error) {
 	if maxImbalance <= 0.5 || maxImbalance >= 1 {
 		return nil, errors.New("separator: maxImbalance must lie in (0.5, 1)")
 	}
@@ -91,6 +100,7 @@ func FindPool(pool *parallel.Pool, g *graph.Graph, beta, maxImbalance float64, s
 	var lastErr error
 	for _, b := range betas {
 		d, err := core.Partition(g, b, core.Options{
+			Ctx:       ctx,
 			Seed:      seed,
 			Workers:   workers,
 			Pool:      pool,

@@ -7,6 +7,7 @@
 package bfs
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 
@@ -16,6 +17,16 @@ import (
 
 // Unreached marks vertices not reached by a search.
 const Unreached int32 = -1
+
+// ctxErr polls ctx at a round boundary; a nil ctx is never cancelled. The
+// poll calls ctx.Err() directly rather than selecting on Done() so
+// fault-injection contexts that trip on the Nth poll observe every round.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // Sequential computes BFS distances from source; dist[v] == Unreached for
 // unreachable vertices.
@@ -166,6 +177,15 @@ func DirectionOptimizing(g *graph.Graph, source uint32, workers int) *Result {
 // the given persistent worker pool (nil means parallel.Default()), with
 // the frontier buffers and bitmaps reused across rounds.
 func DirectionOptimizingPool(pool *parallel.Pool, g *graph.Graph, source uint32, workers int) *Result {
+	res, _ := DirectionOptimizingPoolCtx(nil, pool, g, source, workers)
+	return res
+}
+
+// DirectionOptimizingPoolCtx is DirectionOptimizingPool with cancellation:
+// ctx (nil means never cancelled) is polled between rounds — never inside
+// an expansion kernel — and a cancelled search returns (nil, ctx.Err())
+// with no partial result.
+func DirectionOptimizingPoolCtx(ctx context.Context, pool *parallel.Pool, g *graph.Graph, source uint32, workers int) (*Result, error) {
 	const alpha = 15
 	const betaDown = 24
 	n := g.NumVertices()
@@ -189,6 +209,9 @@ func DirectionOptimizingPool(pool *parallel.Pool, g *graph.Graph, source uint32,
 	var relaxed int64
 	bottomUp := false
 	for len(frontier) > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		depth++
 		res.Rounds++
 		fr := frontier
@@ -246,7 +269,7 @@ func DirectionOptimizingPool(pool *parallel.Pool, g *graph.Graph, source uint32,
 		}
 	}
 	res.Relaxed = relaxed
-	return res
+	return res, nil
 }
 
 // Eccentricity returns max_v dist(source, v) over reached vertices, and the

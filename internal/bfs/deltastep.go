@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 
@@ -86,13 +87,22 @@ func DeltaSteppingMultiPool(pool *parallel.Pool, g *graph.WeightedGraph, init []
 // counts. The Rounds and Relaxed counters describe the schedule actually
 // executed and may differ between directions.
 func DeltaSteppingMultiPoolDir(pool *parallel.Pool, g *graph.WeightedGraph, init []float64, delta float64, workers int, dir Direction) *WeightedResult {
+	res, _ := DeltaSteppingMultiPoolDirCtx(nil, pool, g, init, delta, workers, dir)
+	return res
+}
+
+// DeltaSteppingMultiPoolDirCtx is DeltaSteppingMultiPoolDir with
+// cancellation: ctx (nil means never cancelled) is polled between
+// bucket-relaxation rounds — never inside a relaxation kernel — and a
+// cancelled search returns (nil, ctx.Err()) with no partial result.
+func DeltaSteppingMultiPoolDirCtx(ctx context.Context, pool *parallel.Pool, g *graph.WeightedGraph, init []float64, delta float64, workers int, dir Direction) (*WeightedResult, error) {
 	n := g.NumVertices()
 	res := &WeightedResult{
 		Dist:   make([]float64, n),
 		Parent: make([]uint32, n),
 	}
 	if n == 0 {
-		return res
+		return res, nil
 	}
 	minW, maxW := math.Inf(1), 0.0
 	var arcs int64
@@ -145,7 +155,7 @@ func DeltaSteppingMultiPoolDir(pool *parallel.Pool, g *graph.WeightedGraph, init
 		}
 	}
 	if len(buckets) == 0 {
-		return res
+		return res, nil
 	}
 
 	relaxed := int64(0)
@@ -167,6 +177,9 @@ func DeltaSteppingMultiPoolDir(pool *parallel.Pool, g *graph.WeightedGraph, init
 		frontier := buckets[cur]
 		buckets[cur] = nil
 		for len(frontier) > 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			res.Rounds++
 			switch dir {
 			case DirectionPush:
@@ -208,7 +221,7 @@ func DeltaSteppingMultiPoolDir(pool *parallel.Pool, g *graph.WeightedGraph, init
 	}
 	resolveParents(pool, g, init, res.Dist, res.Parent, workers)
 	res.Relaxed = relaxed
-	return res
+	return res, nil
 }
 
 // WeightedResult is the output of a weighted parallel search.

@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -32,6 +33,17 @@ import (
 	"mpx/internal/graph"
 	"mpx/internal/parallel"
 )
+
+// ctxErr polls ctx at an engine boundary (between rounds or levels; never
+// inside a claim kernel). A nil ctx is never cancelled. The poll calls
+// ctx.Err() directly rather than selecting on Done() so fault-injection
+// contexts that trip on the Nth poll observe every boundary.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // TieBreak selects how same-round (equal integer shifted distance) cluster
 // claims are ordered.
@@ -115,6 +127,12 @@ func (d Direction) String() string {
 // workers, fractional tie-breaking, exponential shifts, automatic traversal
 // direction.
 type Options struct {
+	// Ctx, when non-nil, cancels a partition in flight. It is polled only
+	// at round boundaries — never inside a claim kernel — so cancellation
+	// cannot produce a partially-resolved round: a cancelled call returns
+	// (nil, ctx.Err()) and nothing else, leaving all caller state
+	// untouched. Nil means never cancelled.
+	Ctx context.Context
 	// Seed fixes all randomness. Two runs with the same seed, graph and β
 	// produce identical decompositions at any worker count.
 	Seed uint64

@@ -84,12 +84,23 @@ func (sc *partitionScratch) ensure(w int) {
 // Expected cost matches Theorem 1.2: O(m) work and O(log²n/β) depth — here
 // realized as O((log n/β) · rounds) with each round a constant number of
 // parallel primitives.
-func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, error) {
+//
+// Robustness: Options.Ctx is polled between rounds; a cancelled call
+// returns (nil, ctx.Err()) with no partial result. A panic inside a round
+// kernel (contained by the pool, or raised on the serial path) is
+// recovered here and returned as a *parallel.PanicError; the pool and its
+// scratch stay reusable either way. See docs/robustness.md.
+func Partition(g *graph.Graph, beta float64, opts Options) (d *Decomposition, err error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, ErrBeta
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			d, err = nil, parallel.Recovered(r)
+		}
+	}()
 	n := g.NumVertices()
-	d := &Decomposition{
+	d = &Decomposition{
 		G:      g,
 		Beta:   beta,
 		Center: make([]uint32, n),
@@ -132,6 +143,11 @@ func Partition(g *graph.Graph, beta float64, opts Options) (*Decomposition, erro
 	t := int32(0)
 	maxBucket := int32(len(plan.buckets) - 1)
 	for {
+		// Cancellation point: between rounds only, so no round is ever
+		// left partially resolved.
+		if cerr := ctxErr(opts.Ctx); cerr != nil {
+			return nil, cerr
+		}
 		// Fast-forward the clock over empty rounds (no frontier, no pending
 		// centers until a later bucket).
 		if len(frontier) == 0 {

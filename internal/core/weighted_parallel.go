@@ -5,6 +5,7 @@ import (
 
 	"mpx/internal/bfs"
 	"mpx/internal/graph"
+	"mpx/internal/parallel"
 )
 
 // PartitionWeightedParallel is the parallel counterpart of
@@ -28,12 +29,21 @@ import (
 // distances); the Rounds counter exposes the empirical parallel depth that
 // Section 6 asks about — experiment E15 sweeps it against Δ and the weight
 // distribution, and E21 sweeps the traversal direction.
-func PartitionWeightedParallel(wg *graph.WeightedGraph, beta float64, delta float64, opts Options) (*WeightedDecomposition, error) {
+// Robustness: like Partition, Options.Ctx is polled between
+// bucket-relaxation rounds (a cancelled call returns (nil, ctx.Err()) with
+// no partial result) and panics escaping the round kernels are recovered
+// into a *parallel.PanicError return.
+func PartitionWeightedParallel(wg *graph.WeightedGraph, beta float64, delta float64, opts Options) (d *WeightedDecomposition, err error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, ErrBeta
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			d, err = nil, parallel.Recovered(r)
+		}
+	}()
 	n := wg.NumVertices()
-	d := &WeightedDecomposition{
+	d = &WeightedDecomposition{
 		G:      wg,
 		Beta:   beta,
 		Center: make([]uint32, n),
@@ -52,8 +62,11 @@ func PartitionWeightedParallel(wg *graph.WeightedGraph, beta float64, delta floa
 		init[v] = d.DeltaMax - d.Shifts[v]
 	})
 	// The bucket-relaxation rounds run on the same persistent pool, in the
-	// traversal direction the caller selected.
-	res := bfs.DeltaSteppingMultiPoolDir(pool, wg, init, delta, opts.Workers, bfsDirection(opts.Direction))
+	// traversal direction the caller selected; Ctx cancels between rounds.
+	res, err := bfs.DeltaSteppingMultiPoolDirCtx(opts.Ctx, pool, wg, init, delta, opts.Workers, bfsDirection(opts.Direction))
+	if err != nil {
+		return nil, err
+	}
 	d.Rounds = res.Rounds
 
 	// Every vertex is reached (its own start value is finite). Recover

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -105,7 +106,8 @@ func ReadDIMACS(r io.Reader) (*Graph, error) {
 // ReadDIMACSWeighted parses a DIMACS graph whose edge lines carry an
 // optional weight ("e u v w" / "a u v w", the shortest-path .gr flavor);
 // lines without a weight field default to weight 1. Weights must be
-// positive. Duplicate edge records (DIMACS files often list each arc
+// finite and positive (NaN and ±Inf are rejected, not just non-positive
+// values). Duplicate edge records (DIMACS files often list each arc
 // twice) collapse to one edge, last weight winning — the FromWeightedEdges
 // convention.
 func ReadDIMACSWeighted(r io.Reader) (*WeightedGraph, error) {
@@ -173,8 +175,11 @@ func ReadDIMACSWeighted(r io.Reader) (*WeightedGraph, error) {
 				if err != nil {
 					return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
 				}
-				if w <= 0 {
-					return nil, fmt.Errorf("graph: line %d: weight %g must be positive", lineNo, w)
+				// NaN fails every ordered comparison and +Inf passes w > 0,
+				// so the positivity check alone lets both through — and a
+				// single non-finite weight poisons every downstream distance.
+				if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+					return nil, fmt.Errorf("graph: line %d: weight %q is not a finite positive number", lineNo, fields[3])
 				}
 			}
 			edges = append(edges, WeightedEdge{U: uint32(u - 1), V: uint32(v - 1), W: w})

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -56,6 +57,31 @@ func FuzzReadDIMACS(f *testing.F) {
 		}
 		if _, err := ReadDIMACS(&buf); err != nil {
 			t.Fatalf("re-read: %v", err)
+		}
+	})
+}
+
+func FuzzReadDIMACSWeighted(f *testing.F) {
+	f.Add("p sp 3 2\na 1 2 2.5\na 2 3\n")
+	f.Add("p edge 2 1\ne 1 2 1e300\n")
+	f.Add("p sp 2 1\na 1 2 NaN\n")
+	f.Add("p sp 2 1\na 1 2 +Inf\n")
+	f.Add("p sp 2 1\na 1 2 -0\n")
+	f.Add("c x\np sp 1 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		wg, err := ReadDIMACSWeighted(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// A successful parse may never smuggle a non-finite or non-positive
+		// weight into the CSR — the invariant every weighted engine assumes.
+		for v := 0; v < wg.NumVertices(); v++ {
+			_, ws := wg.Neighbors(uint32(v))
+			for _, w := range ws {
+				if !(w > 0) || math.IsInf(w, 0) {
+					t.Fatalf("parse accepted weight %v", w)
+				}
+			}
 		}
 	})
 }

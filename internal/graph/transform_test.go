@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -156,6 +157,77 @@ func TestReadDIMACSErrors(t *testing.T) {
 	for i, in := range cases {
 		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
 			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadDIMACSWeightedFeatures(t *testing.T) {
+	in := "c weighted\np sp 3 2\na 1 2 2.5\na 2 3\n"
+	wg, err := ReadDIMACSWeighted(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wg.NumVertices() != 3 || wg.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", wg.NumVertices(), wg.NumEdges())
+	}
+	if w, ok := wg.Weight(0, 1); !ok || w != 2.5 {
+		t.Errorf("weight(0,1) = %v,%v, want 2.5", w, ok)
+	}
+	// The weightless line defaults to 1.
+	if w, ok := wg.Weight(1, 2); !ok || w != 1 {
+		t.Errorf("weight(1,2) = %v,%v, want 1", w, ok)
+	}
+	// Duplicate arcs collapse, last weight winning.
+	in2 := "p sp 2 2\na 1 2 3\na 2 1 7\n"
+	wg2, err := ReadDIMACSWeighted(strings.NewReader(in2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := wg2.Weight(0, 1); wg2.NumEdges() != 1 || w != 7 {
+		t.Errorf("duplicate arcs: m=%d w=%v, want 1/7", wg2.NumEdges(), w)
+	}
+}
+
+// TestReadDIMACSWeightedErrors covers the weighted parser's hostile inputs.
+// The non-finite cases matter most: NaN fails every ordered comparison and
+// +Inf passes a bare w > 0 test, so a positivity check alone admits both
+// and a single such weight poisons every downstream shortest-path distance.
+func TestReadDIMACSWeightedErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"nan weight", "p sp 2 1\na 1 2 NaN\n", "finite positive"},
+		{"plus inf weight", "p sp 2 1\na 1 2 +Inf\n", "finite positive"},
+		{"inf weight", "p sp 2 1\na 1 2 Inf\n", "finite positive"},
+		{"minus inf weight", "p sp 2 1\na 1 2 -Inf\n", "finite positive"},
+		{"zero weight", "p sp 2 1\na 1 2 0\n", "finite positive"},
+		{"negative weight", "p sp 2 1\na 1 2 -3\n", "finite positive"},
+		{"unparsable weight", "p sp 2 1\na 1 2 heavy\n", "bad weight"},
+		{"edge before header", "a 1 2 1\n", "before problem line"},
+		{"out of range", "p sp 2 1\na 1 5 1\n", "out of 1..2"},
+		{"zero vertex", "p sp 2 1\na 0 1 1\n", "out of 1..2"},
+		{"duplicate header", "p sp 2 1\np sp 2 1\n", "duplicate problem line"},
+		{"no header", "", "missing DIMACS problem line"},
+		{"huge n", "p sp 2000000000 1\n", "exceeds limit"},
+	}
+	for _, tc := range cases {
+		_, err := ReadDIMACSWeighted(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: parse succeeded, want error containing %q", tc.name, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestFromWeightedEdgesRejectsNonFinite pins the same invariant at the CSR
+// layer, which ApplyBatchWeighted and every generator funnel through.
+func TestFromWeightedEdgesRejectsNonFinite(t *testing.T) {
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -1} {
+		if _, err := FromWeightedEdges(2, []WeightedEdge{{U: 0, V: 1, W: w}}); err == nil {
+			t.Errorf("weight %v accepted", w)
 		}
 	}
 }

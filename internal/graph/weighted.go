@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"sort"
 
 	"mpx/internal/xrand"
@@ -42,12 +43,14 @@ func (g *WeightedGraph) Neighbors(v uint32) ([]uint32, []float64) {
 	return g.adj[g.offsets[v]:g.offsets[v+1]], g.weights[g.offsets[v]:g.offsets[v+1]]
 }
 
-// FromWeightedEdges builds a weighted CSR graph. Weights must be positive;
-// self loops are dropped.
+// FromWeightedEdges builds a weighted CSR graph. Weights must be finite
+// and positive (NaN fails every ordered comparison and +Inf passes a bare
+// positivity test, and either poisons every downstream distance, so both
+// are rejected explicitly); self loops are dropped.
 func FromWeightedEdges(n int, edges []WeightedEdge) (*WeightedGraph, error) {
 	plain := make([]Edge, 0, len(edges))
 	for _, e := range edges {
-		if e.W <= 0 {
+		if e.W <= 0 || math.IsNaN(e.W) || math.IsInf(e.W, 0) {
 			return nil, errNonPositiveWeight
 		}
 		plain = append(plain, Edge{e.U, e.V})
@@ -86,7 +89,7 @@ func FromWeightedEdges(n int, edges []WeightedEdge) (*WeightedGraph, error) {
 	return &WeightedGraph{offsets: base.offsets, adj: base.adj, weights: weights}, nil
 }
 
-var errNonPositiveWeight = errorString("graph: edge weight must be positive")
+var errNonPositiveWeight = errorString("graph: edge weight must be a finite positive number")
 
 type errorString string
 

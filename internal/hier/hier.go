@@ -23,6 +23,7 @@
 package hier
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -31,6 +32,16 @@ import (
 	"mpx/internal/parallel"
 )
 
+// ctxErr polls ctx at a level boundary; a nil ctx is never cancelled. As
+// in core, the poll calls ctx.Err() directly so fault-injection contexts
+// that trip on the Nth poll observe every boundary.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // ErrMaxLevels reports a hierarchy that did not converge (run out of edges
 // or vertices) within Config.MaxLevels levels.
 var ErrMaxLevels = errors.New("hier: hierarchy failed to converge within MaxLevels")
@@ -38,6 +49,13 @@ var ErrMaxLevels = errors.New("hier: hierarchy failed to converge within MaxLeve
 // Config configures a hierarchy run. The zero value decomposes with
 // BetaAt/Beta unset, which is invalid — callers must set Beta or BetaAt.
 type Config struct {
+	// Ctx, when non-nil, cancels a hierarchy build or update in flight.
+	// It is polled at level boundaries and forwarded into every per-level
+	// Partition (which polls it between rounds). Cancellation is
+	// all-or-nothing: a cancelled Run/Build returns ctx.Err() and no
+	// result, a cancelled Hierarchy.Update returns ctx.Err() with the
+	// hierarchy exactly as it was. Nil means never cancelled.
+	Ctx context.Context
 	// Beta is the per-level decomposition parameter (used when BetaAt is
 	// nil).
 	Beta float64
@@ -231,19 +249,26 @@ func Run(cfg Config, g *graph.Graph, visit func(*Level) error) (*Result, error) 
 }
 
 // Run drives the hierarchy over g, invoking visit (which may be nil) once
-// per level after that level's decomposition and contraction are complete.
-// It stops when the current graph has no edges, returning ErrMaxLevels
-// (with partial Result) if the cap is hit first, and propagates any error
-// from Partition or visit.
+// per level. It stops when the current graph has no edges, returning
+// ErrMaxLevels (with partial Result) if the cap is hit first, and
+// propagates any error from Partition or visit. The full derivation is
+// computed before the first visit is delivered (the staged two-phase
+// scheme of update.go): a cancellation (Config.Ctx) or a contained panic
+// (*parallel.PanicError) therefore returns an error and no result, with
+// no visit ever observed.
 //
 // Run is a thin wrapper over the persistent Hierarchy (update.go): it
 // builds one, discards the retained per-level state, and returns the
 // Result. Callers that want to maintain the hierarchy under edge updates
 // use BuildHierarchy/Hierarchy.Update instead.
-func (e *Engine) Run(g *graph.Graph, visit func(*Level) error) (*Result, error) {
+func (e *Engine) Run(g *graph.Graph, visit func(*Level) error) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, parallel.Recovered(r)
+		}
+	}()
 	h := &Hierarchy{eng: e, res: &Result{}}
-	h.initOrigMap(g.NumVertices())
-	if err := h.deriveFrom(0, g, nil, visit); err != nil {
+	if err := h.build(g, visit); err != nil {
 		if errors.Is(err, ErrMaxLevels) {
 			return h.res, err
 		}

@@ -1,11 +1,13 @@
 package hier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"mpx/internal/core"
 	"mpx/internal/graph"
+	"mpx/internal/parallel"
 	"mpx/internal/xrand"
 )
 
@@ -45,6 +47,15 @@ import (
 // change re-derives every level (a weight change can move Δ-stepping
 // distances anywhere). Bit-identity holds trivially; making the weighted
 // fixpoint check incremental is an open ROADMAP item.
+//
+// Every derivation runs in two phases (docs/robustness.md): a pure compute
+// phase (computeLevels / the staged Update walk) that reads the live
+// hierarchy but never mutates it and delivers no visits, and a commit
+// phase that installs the staged state and only then replays the visit
+// callbacks. Cancellation (Config.Ctx, polled at level and round
+// boundaries) and contained panics therefore abort before commit: the
+// hierarchy, its Result and the engine stay exactly as they were, and the
+// same Update can simply be retried.
 
 // levelState is everything the Hierarchy retains per level: the level's
 // input graph (weighted view when applicable), its decomposition, the
@@ -101,11 +112,16 @@ func (s UpdateStats) String() string {
 // visit per level exactly as Run does. The returned Hierarchy owns the
 // engine's scratch; keep it to call Update. On ErrMaxLevels the hierarchy
 // is returned alongside the error (its partial levels are consistent);
-// other errors return nil.
-func BuildHierarchy(cfg Config, g *graph.Graph, visit func(*Level) error) (*Hierarchy, error) {
-	h := &Hierarchy{eng: New(cfg), res: &Result{}}
-	h.initOrigMap(g.NumVertices())
-	if err := h.deriveFrom(0, g, nil, visit); err != nil {
+// other errors — including Config.Ctx cancellation and contained panics —
+// return nil.
+func BuildHierarchy(cfg Config, g *graph.Graph, visit func(*Level) error) (h *Hierarchy, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			h, err = nil, parallel.Recovered(r)
+		}
+	}()
+	h = &Hierarchy{eng: New(cfg), res: &Result{}}
+	if err := h.build(g, visit); err != nil {
 		if errors.Is(err, ErrMaxLevels) {
 			return h, err
 		}
@@ -116,10 +132,14 @@ func BuildHierarchy(cfg Config, g *graph.Graph, visit func(*Level) error) (*Hier
 
 // BuildWeightedHierarchy is BuildHierarchy for weighted graphs (the
 // RunWeighted driver).
-func BuildWeightedHierarchy(cfg Config, wg *graph.WeightedGraph, visit func(*Level) error) (*Hierarchy, error) {
-	h := &Hierarchy{eng: New(cfg), res: &Result{}, weighted: true}
-	h.initOrigMap(wg.NumVertices())
-	if err := h.deriveWeightedFrom(0, wg, visit); err != nil {
+func BuildWeightedHierarchy(cfg Config, wg *graph.WeightedGraph, visit func(*Level) error) (h *Hierarchy, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			h, err = nil, parallel.Recovered(r)
+		}
+	}()
+	h = &Hierarchy{eng: New(cfg), res: &Result{}, weighted: true}
+	if err := h.buildWeighted(wg, visit); err != nil {
 		if errors.Is(err, ErrMaxLevels) {
 			return h, err
 		}
@@ -129,7 +149,7 @@ func BuildWeightedHierarchy(cfg Config, wg *graph.WeightedGraph, visit func(*Lev
 }
 
 // Result returns the hierarchy's current result. The same pointer stays
-// valid across updates; Update mutates it in place.
+// valid across updates; Update mutates it in place (at commit time only).
 func (h *Hierarchy) Result() *Result { return h.res }
 
 // Levels returns the current level count.
@@ -193,27 +213,70 @@ func (h *Hierarchy) recomposeOrigMap() {
 	}
 }
 
-// deriveFrom truncates the hierarchy to [0, start) and derives level start
-// and everything above it from scratch: the loop body of the original
-// one-shot Run, retaining per-level state as it goes. cur is the graph
-// entering level start and orig its annotation table (nil = identity).
-// Output is bit-identical to a full Run over the level range — each level
-// partitions with xrand.Mix(Seed, level) and identical inputs.
-func (h *Hierarchy) deriveFrom(start int, cur *graph.Graph, orig []graph.Edge, visit func(*Level) error) error {
-	e := h.eng
+// build derives the full unweighted hierarchy over g, installs it, and
+// replays the visits. The shared body of Run and BuildHierarchy.
+func (h *Hierarchy) build(g *graph.Graph, visit func(*Level) error) error {
+	cfg := h.eng.cfg
+	h.initOrigMap(g.NumVertices())
+	lvls, stats, final, derr := h.eng.computeLevels(cfg.Ctx, 0, g, nil)
+	if derr != nil && !errors.Is(derr, ErrMaxLevels) {
+		return derr
+	}
+	h.levels = lvls
+	h.res.Stats = stats
+	h.res.Levels = len(lvls)
+	h.res.Final = final
+	h.recomposeOrigMap()
+	if verr := h.replayVisits(0, len(lvls), visit); verr != nil {
+		return verr
+	}
+	return derr
+}
+
+// buildWeighted is build for weighted hierarchies.
+func (h *Hierarchy) buildWeighted(wg *graph.WeightedGraph, visit func(*Level) error) error {
+	cfg := h.eng.cfg
+	h.initOrigMap(wg.NumVertices())
+	lvls, stats, final, wfinal, derr := h.eng.computeWeightedLevels(cfg.Ctx, 0, wg)
+	if derr != nil && !errors.Is(derr, ErrMaxLevels) {
+		return derr
+	}
+	h.levels = lvls
+	h.res.Stats = stats
+	h.res.Levels = len(lvls)
+	h.res.Final = final
+	h.res.WFinal = wfinal
+	h.recomposeOrigMap()
+	if verr := h.replayVisits(0, len(lvls), visit); verr != nil {
+		return verr
+	}
+	return derr
+}
+
+// computeLevels derives levels start, start+1, ... for the graph cur
+// entering level start (orig its annotation table; nil = identity). It is
+// the pure compute phase of every unweighted build and update: it reads
+// only the engine's configuration and scratch, never touches a Hierarchy,
+// and delivers no visits — staged levels are installed and presented to
+// the caller only after the whole derivation succeeds. ctx is polled at
+// every level boundary and forwarded into each level's Partition (which
+// polls it between rounds). On ErrMaxLevels the levels computed so far are
+// returned alongside the error (they are consistent and installable); any
+// other error returns nothing.
+func (e *Engine) computeLevels(ctx context.Context, start int, cur *graph.Graph, orig []graph.Edge) ([]levelState, []LevelStat, *graph.Graph, error) {
 	cfg := e.cfg
 	pool := cfg.Pool
-	h.levels = h.levels[:start]
-	h.res.Stats = h.res.Stats[:start]
-	h.res.Levels = start
-	e.rankFor = nil
+	var lvls []levelState
+	var stats []LevelStat
 	for level := start; cur.NumEdges() > 0; level++ {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return nil, nil, nil, cerr
+		}
 		if level >= cfg.maxLevels() {
-			h.res.Final = cur
-			h.recomposeOrigMap()
-			return ErrMaxLevels
+			return lvls, stats, cur, ErrMaxLevels
 		}
 		d, err := core.Partition(cur, cfg.betaAt(level, cur), core.Options{
+			Ctx:         ctx,
 			Seed:        xrand.Mix(cfg.Seed, uint64(level)),
 			Workers:     cfg.Workers,
 			Pool:        pool,
@@ -222,11 +285,11 @@ func (h *Hierarchy) deriveFrom(start int, cur *graph.Graph, orig []graph.Edge, v
 			Direction:   cfg.Direction,
 		})
 		if err != nil {
-			return err
+			return nil, nil, nil, err
 		}
 		n := cur.NumVertices()
 		center := d.Center
-		lv := Level{Index: level, G: cur, D: d, eng: e, orig: orig}
+		st := levelState{g: cur, d: d, orig: orig}
 
 		// Classification + next level. Contract mode renumbers through the
 		// quotient map; residual mode keeps vertex ids and drops intra
@@ -236,26 +299,20 @@ func (h *Hierarchy) deriveFrom(start int, cur *graph.Graph, orig []graph.Edge, v
 		if cfg.Residual {
 			next, err = graph.CutSubgraphPool(pool, cfg.Workers, cur, center, &e.sc)
 			if err != nil {
-				return err
+				return nil, nil, nil, err
 			}
-			lv.NumQuot = n
+			st.numQuot = n
 		} else {
 			var quot []uint32
 			next, quot, err = graph.ContractClustersPool(pool, cfg.Workers, cur, center, &e.sc)
 			if err != nil {
-				return err
+				return nil, nil, nil, err
 			}
-			lv.Quot = quot
-			lv.NumQuot = next.NumVertices()
+			st.quot = quot
+			st.numQuot = next.NumVertices()
 			if cfg.NeedEdgeOrig {
 				nextOrig = e.annotateContraction(cur, orig, center, quot, next)
 			}
-		}
-		if cfg.NeedIntra {
-			lv.IntraEdges = e.collectIntra(cur, orig, center)
-		}
-		if cfg.NeedEdgeOrig && orig != nil {
-			e.buildRank(cur)
 		}
 
 		// The contraction/residual rebuild already walked every arc and
@@ -265,7 +322,7 @@ func (h *Hierarchy) deriveFrom(start int, cur *graph.Graph, orig []graph.Edge, v
 			N:         n,
 			M:         cur.NumEdges(),
 			CutEdges:  e.sc.CutArcs / 2,
-			QuotientN: lv.NumQuot,
+			QuotientN: st.numQuot,
 		}
 		stat.Clusters = int(pool.ReduceInt64(cfg.Workers, n, func(v int) int64 {
 			if center[v] == uint32(v) {
@@ -277,42 +334,29 @@ func (h *Hierarchy) deriveFrom(start int, cur *graph.Graph, orig []graph.Edge, v
 			stat.CutFraction = float64(stat.CutEdges) / float64(stat.M)
 		}
 
-		if visit != nil {
-			if err := visit(&lv); err != nil {
-				return err
-			}
-		}
-		h.levels = append(h.levels, levelState{
-			g: cur, d: d, quot: lv.Quot, numQuot: lv.NumQuot, orig: orig,
-		})
-		h.res.Stats = append(h.res.Stats, stat)
-		h.res.Levels++
+		lvls = append(lvls, st)
+		stats = append(stats, stat)
 		cur = next
 		orig = nextOrig
 	}
-	h.res.Final = cur
-	h.recomposeOrigMap()
-	return nil
+	return lvls, stats, cur, nil
 }
 
-// deriveWeightedFrom is deriveFrom for weighted hierarchies: the loop body
-// of the original RunWeighted, retaining per-level state.
-func (h *Hierarchy) deriveWeightedFrom(start int, cur *graph.WeightedGraph, visit func(*Level) error) error {
-	e := h.eng
+// computeWeightedLevels is computeLevels for weighted hierarchies: the
+// pure compute phase of RunWeighted and the weighted Update.
+func (e *Engine) computeWeightedLevels(ctx context.Context, start int, cur *graph.WeightedGraph) ([]levelState, []LevelStat, *graph.Graph, *graph.WeightedGraph, error) {
 	cfg := e.cfg
 	pool := cfg.Pool
-	h.levels = h.levels[:start]
-	h.res.Stats = h.res.Stats[:start]
-	h.res.Levels = start
+	var lvls []levelState
+	var stats []LevelStat
 	curU := cur.Unweighted()
 	var orig []graph.Edge
-	e.rankFor = nil
 	for level := start; cur.NumEdges() > 0; level++ {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return nil, nil, nil, nil, cerr
+		}
 		if level >= cfg.maxLevels() {
-			h.res.WFinal = cur
-			h.res.Final = curU
-			h.recomposeOrigMap()
-			return ErrMaxLevels
+			return lvls, stats, curU, cur, ErrMaxLevels
 		}
 		beta := cfg.wbetaAt(level, cur)
 		delta := cfg.deltaAt(level, cur)
@@ -326,6 +370,7 @@ func (h *Hierarchy) deriveWeightedFrom(start int, cur *graph.WeightedGraph, visi
 			delta = 1 / beta
 		}
 		wd, err := core.PartitionWeightedParallel(cur, beta, delta, core.Options{
+			Ctx:         ctx,
 			Seed:        xrand.Mix(cfg.Seed, uint64(level)),
 			Workers:     cfg.Workers,
 			Pool:        pool,
@@ -334,37 +379,31 @@ func (h *Hierarchy) deriveWeightedFrom(start int, cur *graph.WeightedGraph, visi
 			Direction:   cfg.Direction,
 		})
 		if err != nil {
-			return err
+			return nil, nil, nil, nil, err
 		}
 		n := cur.NumVertices()
 		center := wd.Center
-		lv := Level{Index: level, G: curU, WG: cur, WD: wd, eng: e, orig: orig}
+		st := levelState{g: curU, wg: cur, wd: wd, orig: orig}
 
 		var next *graph.WeightedGraph
 		var nextOrig []graph.Edge
 		if cfg.Residual {
 			next, err = graph.CutWeightedSubgraphPool(pool, cfg.Workers, cur, center, &e.sc)
 			if err != nil {
-				return err
+				return nil, nil, nil, nil, err
 			}
-			lv.NumQuot = n
+			st.numQuot = n
 		} else {
 			var quot []uint32
 			next, quot, err = graph.ContractWeightedClustersPool(pool, cfg.Workers, cur, center, &e.sc)
 			if err != nil {
-				return err
+				return nil, nil, nil, nil, err
 			}
-			lv.Quot = quot
-			lv.NumQuot = next.NumVertices()
+			st.quot = quot
+			st.numQuot = next.NumVertices()
 			if cfg.NeedEdgeOrig {
 				nextOrig = e.annotateContraction(curU, orig, center, quot, next.Unweighted())
 			}
-		}
-		if cfg.NeedIntra {
-			lv.IntraEdges = e.collectIntra(curU, orig, center)
-		}
-		if cfg.NeedEdgeOrig && orig != nil {
-			e.buildRank(curU)
 		}
 
 		stat := LevelStat{
@@ -372,7 +411,7 @@ func (h *Hierarchy) deriveWeightedFrom(start int, cur *graph.WeightedGraph, visi
 			N:           n,
 			M:           cur.NumEdges(),
 			CutEdges:    e.sc.CutArcs / 2,
-			QuotientN:   lv.NumQuot,
+			QuotientN:   st.numQuot,
 			Weighted:    true,
 			TotalWeight: TotalWeightOnPool(pool, cfg.Workers, cur),
 			Rounds:      wd.Rounds,
@@ -394,23 +433,45 @@ func (h *Hierarchy) deriveWeightedFrom(start int, cur *graph.WeightedGraph, visi
 			stat.CutWeightFraction = stat.CutWeight / stat.TotalWeight
 		}
 
-		if visit != nil {
-			if err := visit(&lv); err != nil {
-				return err
-			}
-		}
-		h.levels = append(h.levels, levelState{
-			g: curU, wg: cur, wd: wd, quot: lv.Quot, numQuot: lv.NumQuot, orig: orig,
-		})
-		h.res.Stats = append(h.res.Stats, stat)
-		h.res.Levels++
+		lvls = append(lvls, st)
+		stats = append(stats, stat)
 		cur = next
 		curU = next.Unweighted()
 		orig = nextOrig
 	}
-	h.res.WFinal = cur
-	h.res.Final = curU
-	h.recomposeOrigMap()
+	return lvls, stats, curU, cur, nil
+}
+
+// replayVisits presents levels [from, to) to visit in order, reconstructing
+// exactly the Level view an interleaved build would have shown: the
+// scratch-aliasing pieces (IntraEdges, the OrigEdge rank tables) are
+// recomputed per level from the retained state. Runs strictly after
+// commit, so a visit error (or panic) can no longer leave the hierarchy
+// inconsistent — only the caller's own per-level state is partial.
+func (h *Hierarchy) replayVisits(from, to int, visit func(*Level) error) error {
+	if visit == nil {
+		return nil
+	}
+	e := h.eng
+	cfg := e.cfg
+	e.rankFor = nil
+	for l := from; l < to; l++ {
+		st := &h.levels[l]
+		lv := Level{
+			Index: l, G: st.g, D: st.d, WG: st.wg, WD: st.wd,
+			Quot: st.quot, NumQuot: st.numQuot, eng: e, orig: st.orig,
+		}
+		center := lv.Center()
+		if cfg.NeedIntra {
+			lv.IntraEdges = e.collectIntra(st.g, st.orig, center)
+		}
+		if cfg.NeedEdgeOrig && st.orig != nil {
+			e.buildRank(st.g)
+		}
+		if err := visit(&lv); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -444,6 +505,15 @@ func edgesEqual(a, b []graph.Edge) bool {
 	return true
 }
 
+// dfixG is a deferred d.G pointer swing for a refreshed level: the
+// Decomposition object is shared between the live and the staged level
+// state, so pointing it at the updated input graph may only happen at
+// commit time.
+type dfixG struct {
+	d *core.Decomposition
+	g *graph.Graph
+}
+
 // Update applies b to the hierarchy's base graph and re-derives exactly
 // the levels whose inputs changed, walking the damage up through the
 // quotient maps. visit (which may be nil) is invoked, in level order, for
@@ -464,17 +534,39 @@ func edgesEqual(a, b []graph.Edge) bool {
 //   - verified, batch touches cut edges → re-run the contraction, diff
 //     the quotient CSRs, and propagate the diff as the next level's batch.
 //
-// An error (from a kernel or a visit callback) leaves the hierarchy in an
-// inconsistent state; discard it.
+// Update is all-or-nothing: the walk stages every change (copied level
+// and stat arrays, deferred pointer fixups) and commits only once the
+// whole derivation has succeeded. On cancellation (Config.Ctx, polled at
+// level and partition-round boundaries), a contained panic
+// (*parallel.PanicError), or any kernel error, Update returns a zero
+// UpdateStats and the error with the hierarchy, its Result and the engine
+// untouched — retrying the same batch is safe. Visits are replayed only
+// after commit, so an error from a visit callback leaves the hierarchy
+// consistent in its updated state; only the caller's own per-level state
+// is partial and should be rebuilt. ErrMaxLevels likewise commits the
+// (consistent) truncated hierarchy, exactly as BuildHierarchy does.
 func (h *Hierarchy) Update(b graph.Batch, visit func(*Level) error) (UpdateStats, error) {
+	return h.UpdateCtx(h.eng.cfg.Ctx, b, visit)
+}
+
+// UpdateCtx is Update with a per-call cancellation context overriding
+// Config.Ctx (nil means never cancelled) — the shape a long-running
+// service needs, where one persistent hierarchy serves many requests each
+// carrying its own deadline. The all-or-nothing contract is identical.
+func (h *Hierarchy) UpdateCtx(ctx context.Context, b graph.Batch, visit func(*Level) error) (us UpdateStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			us, err = UpdateStats{}, parallel.Recovered(r)
+		}
+	}()
 	if h.weighted {
-		return h.updateWeighted(b, visit)
+		return h.updateWeighted(ctx, b, visit)
 	}
 	newG, ar, err := graph.ApplyBatch(h.Graph(), b)
 	if err != nil {
 		return UpdateStats{}, err
 	}
-	us := UpdateStats{
+	us = UpdateStats{
 		DirtyVertices: len(ar.Dirty),
 		InsEdges:      len(ar.Inserted),
 		DelEdges:      len(ar.Deleted),
@@ -488,37 +580,57 @@ func (h *Hierarchy) Update(b graph.Batch, visit func(*Level) error) (UpdateStats
 	e := h.eng
 	cfg := e.cfg
 	pool := cfg.Pool
+
+	// Staged state: struct copies of the level and stat arrays. The walk
+	// below mutates only these copies (plus the deferred d.G fixups); the
+	// live hierarchy is read, never written, until commit.
+	nlv := append([]levelState(nil), h.levels...)
+	nst := append([]LevelStat(nil), h.res.Stats...)
+	var dfix []dfixG
+	final := h.res.Final
+	rederived := false
+	visitEnd := 0
+	var derr error // nil or ErrMaxLevels once staged
+
 	cur := newG
 	ins, del := ar.Inserted, ar.Deleted
 	var origIn []graph.Edge
 	annotChanged := false
 
 	for l := 0; ; l++ {
-		if l >= len(h.levels) || len(ins)+len(del) > 0 && cur.NumEdges() == 0 {
-			// Past the old top (new levels to grow), or this level's graph
-			// lost its last edge (levels above it disappear): both are full
-			// re-derivations from here.
-			err := h.deriveFrom(l, cur, origIn, visit)
-			us.Rederived = h.res.Levels - l
-			us.Levels = h.res.Levels
-			return us, err
+		if cerr := ctxErr(ctx); cerr != nil {
+			return UpdateStats{}, cerr
 		}
-		st := &h.levels[l]
-		if len(ins)+len(del) > 0 && !st.d.UnchangedUnder(ins, del) {
-			err := h.deriveFrom(l, cur, origIn, visit)
-			us.Rederived = h.res.Levels - l
-			us.Levels = h.res.Levels
-			return us, err
+		rederive := l >= len(h.levels) || len(ins)+len(del) > 0 && cur.NumEdges() == 0
+		if !rederive && len(ins)+len(del) > 0 && !h.levels[l].d.UnchangedUnder(ins, del) {
+			rederive = true
+		}
+		if rederive {
+			// Past the old top (new levels to grow), this level's graph lost
+			// its last edge (levels above it disappear), or the partition
+			// fixpoint did not survive: full re-derivation from here.
+			lvls, stats, fin, cerr := e.computeLevels(ctx, l, cur, origIn)
+			if cerr != nil && !errors.Is(cerr, ErrMaxLevels) {
+				return UpdateStats{}, cerr
+			}
+			derr = cerr
+			nlv = append(nlv[:l], lvls...)
+			nst = append(nst[:l], stats...)
+			final = fin
+			us.Rederived = len(lvls)
+			rederived = true
+			visitEnd = len(nlv)
+			break
 		}
 
 		// Partition verified unchanged (or the batch is annotation-only).
 		us.Refreshed++
 		graphChanged := len(ins)+len(del) > 0
-		st.g = cur
-		st.d.G = cur
-		st.orig = origIn
-		center := st.d.Center
-		stat := &h.res.Stats[l]
+		nlv[l].g = cur
+		nlv[l].orig = origIn
+		dfix = append(dfix, dfixG{d: nlv[l].d, g: cur})
+		center := nlv[l].d.Center
+		stat := &nst[l]
 
 		allIntra := true
 		for _, ed := range ins {
@@ -546,22 +658,22 @@ func (h *Hierarchy) Update(b graph.Batch, visit func(*Level) error) (UpdateStats
 			if cfg.Residual {
 				next, err = graph.CutSubgraphPool(pool, cfg.Workers, cur, center, &e.sc)
 				if err != nil {
-					return us, err
+					return UpdateStats{}, err
 				}
 			} else {
 				var quot []uint32
 				next, quot, err = graph.ContractClustersPool(pool, cfg.Workers, cur, center, &e.sc)
 				if err != nil {
-					return us, err
+					return UpdateStats{}, err
 				}
 				// The compaction order depends only on the center array, so
 				// the numbering is stable; guard the invariant the splice
 				// logic stands on.
-				if next.NumVertices() != st.numQuot {
-					return us, fmt.Errorf("hier: quotient numbering shifted under a verified partition (level %d: %d -> %d vertices)",
-						l, st.numQuot, next.NumVertices())
+				if next.NumVertices() != nlv[l].numQuot {
+					return UpdateStats{}, fmt.Errorf("hier: quotient numbering shifted under a verified partition (level %d: %d -> %d vertices)",
+						l, nlv[l].numQuot, next.NumVertices())
 				}
-				st.quot = quot
+				nlv[l].quot = quot
 				if cfg.NeedEdgeOrig {
 					nextOrig = e.annotateContraction(cur, origIn, center, quot, next)
 				}
@@ -603,7 +715,7 @@ func (h *Hierarchy) Update(b graph.Batch, visit func(*Level) error) (UpdateStats
 				// The table entering this level changed, so the values its
 				// cut-edge representatives carry may change even though the
 				// representatives themselves are fixed.
-				fresh := e.annotateContraction(cur, origIn, center, st.quot, next)
+				fresh := e.annotateContraction(cur, origIn, center, nlv[l].quot, next)
 				if edgesEqual(fresh, nextOrig) {
 					// converged; keep the old table
 				} else {
@@ -613,39 +725,43 @@ func (h *Hierarchy) Update(b graph.Batch, visit func(*Level) error) (UpdateStats
 			}
 		}
 
-		// Re-present the refreshed level to the caller, exactly as a fresh
-		// build would.
-		lv := Level{Index: l, G: cur, D: st.d, Quot: st.quot, NumQuot: st.numQuot, eng: e, orig: origIn}
-		if cfg.NeedIntra {
-			lv.IntraEdges = e.collectIntra(cur, origIn, center)
-		}
-		if cfg.NeedEdgeOrig && origIn != nil {
-			e.buildRank(cur)
-		}
-		if visit != nil {
-			if err := visit(&lv); err != nil {
-				return us, err
-			}
-		}
-
+		visitEnd = l + 1
 		if len(nextIns)+len(nextDel) == 0 && !nextAnnotChanged {
 			// Damage absorbed: everything above is reused verbatim.
 			us.Reused = h.res.Levels - l - 1
-			us.Levels = h.res.Levels
-			return us, nil
+			break
 		}
 		cur = next
 		ins, del = nextIns, nextDel
 		origIn = nextOrig
 		annotChanged = nextAnnotChanged
 	}
+
+	// Commit: land the deferred pointer fixups and install the staged
+	// arrays, then — and only then — replay the visits.
+	for _, f := range dfix {
+		f.d.G = f.g
+	}
+	h.levels = nlv
+	h.res.Stats = nst
+	h.res.Levels = len(nlv)
+	h.res.Final = final
+	if rederived {
+		h.recomposeOrigMap()
+	}
+	us.Levels = h.res.Levels
+	if verr := h.replayVisits(0, visitEnd, visit); verr != nil && derr == nil {
+		return us, verr
+	}
+	return us, derr
 }
 
 // updateWeighted is the conservative weighted path: any effective change
 // re-derives the whole hierarchy on the updated weighted graph (bit-
-// identity is then trivial). The weighted Δ-stepping fixpoint check is an
-// open ROADMAP item.
-func (h *Hierarchy) updateWeighted(b graph.Batch, visit func(*Level) error) (UpdateStats, error) {
+// identity is then trivial), staged and committed with the same
+// all-or-nothing contract as the unweighted Update. The weighted
+// Δ-stepping fixpoint check is an open ROADMAP item.
+func (h *Hierarchy) updateWeighted(ctx context.Context, b graph.Batch, visit func(*Level) error) (UpdateStats, error) {
 	newWG, ar, err := graph.ApplyBatchWeighted(h.WeightedGraph(), b)
 	if err != nil {
 		return UpdateStats{}, err
@@ -661,8 +777,20 @@ func (h *Hierarchy) updateWeighted(b graph.Batch, visit func(*Level) error) (Upd
 		us.Reused = h.res.Levels
 		return us, nil
 	}
-	err = h.deriveWeightedFrom(0, newWG, visit)
+	lvls, stats, final, wfinal, derr := h.eng.computeWeightedLevels(ctx, 0, newWG)
+	if derr != nil && !errors.Is(derr, ErrMaxLevels) {
+		return UpdateStats{}, derr
+	}
+	h.levels = lvls
+	h.res.Stats = stats
+	h.res.Levels = len(lvls)
+	h.res.Final = final
+	h.res.WFinal = wfinal
+	h.recomposeOrigMap()
 	us.Rederived = h.res.Levels
 	us.Levels = h.res.Levels
-	return us, err
+	if verr := h.replayVisits(0, len(lvls), visit); verr != nil && derr == nil {
+		return us, verr
+	}
+	return us, derr
 }

@@ -54,11 +54,16 @@ func RunWeighted(cfg Config, wg *graph.WeightedGraph, visit func(*Level) error) 
 //
 // Like Run, this is a thin wrapper over the persistent Hierarchy
 // (update.go); BuildWeightedHierarchy retains the per-level state for
-// incremental maintenance.
-func (e *Engine) RunWeighted(wg *graph.WeightedGraph, visit func(*Level) error) (*Result, error) {
+// incremental maintenance. Cancellation and panic containment follow
+// Run's contract: the derivation is staged before any visit is delivered.
+func (e *Engine) RunWeighted(wg *graph.WeightedGraph, visit func(*Level) error) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, parallel.Recovered(r)
+		}
+	}()
 	h := &Hierarchy{eng: e, res: &Result{}, weighted: true}
-	h.initOrigMap(wg.NumVertices())
-	if err := h.deriveWeightedFrom(0, wg, visit); err != nil {
+	if err := h.buildWeighted(wg, visit); err != nil {
 		if errors.Is(err, ErrMaxLevels) {
 			return h.res, err
 		}

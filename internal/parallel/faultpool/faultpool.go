@@ -1,0 +1,142 @@
+// Package faultpool is deterministic fault-injection test support for the
+// pool/engine stack (docs/robustness.md). It has two halves:
+//
+//   - Pool hooks (PanicAtSubmission, PanicAtSlot, DelayAtSubmission) that
+//     install a parallel.FaultHook firing at the Nth Run submission — the
+//     way the chaos suite drives a panic or a schedule perturbation into
+//     an arbitrary kernel of a partition or hierarchy build without
+//     touching engine code.
+//
+//   - Poll-counting contexts (CancelAtCheck, PanicAtCheck) whose Err()
+//     trips at the Nth boundary poll. The engines poll ctx.Err() exactly
+//     once per round/level boundary, so "cancel at the Nth check" is
+//     "cancel at the Nth boundary" — injection lands precisely between
+//     rounds, never inside a claim kernel.
+//
+// Both halves are deterministic for a fixed workload: submission sequence
+// numbers and boundary polls do not depend on scheduling (the submitting
+// goroutine numbers submissions; boundary polls are serial engine code),
+// so a fault injected at N lands at the same place every run.
+//
+// This package is imported by tests only; nothing in it is used by
+// production code.
+package faultpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mpx/internal/parallel"
+)
+
+// ErrInjected is the panic value the injection hooks throw, wrapped so
+// tests can assert errors.Is(err, ErrInjected) on the surfaced
+// *parallel.PanicError.
+var ErrInjected = errors.New("faultpool: injected fault")
+
+// PanicAtSubmission installs a hook on p that panics with ErrInjected on
+// the submitting goroutine at the start of the nth Run submission
+// (1-based, counted from installation). The panic escapes Run directly —
+// before any job state exists — exercising the engine-boundary recovery
+// of the caller.
+func PanicAtSubmission(p *parallel.Pool, n int64) {
+	base := p.SubmitCount()
+	p.SetFaultHook(&parallel.FaultHook{
+		Submit: func(seq int64, slots int) {
+			if seq == base+n {
+				panic(fmt.Errorf("%w: submission %d", ErrInjected, n))
+			}
+		},
+	})
+}
+
+// PanicAtSlot installs a hook on p that panics with ErrInjected inside
+// slot `slot` of the nth Run submission, on whichever goroutine (worker or
+// helping submitter) executes it — exercising the in-slot containment
+// path: the panic must surface on the submitter as a *parallel.PanicError
+// with the pool left fully reusable.
+func PanicAtSlot(p *parallel.Pool, n int64, slot int) {
+	base := p.SubmitCount()
+	p.SetFaultHook(&parallel.FaultHook{
+		Slot: func(seq int64, k int) {
+			if seq == base+n && k == slot {
+				panic(fmt.Errorf("%w: submission %d slot %d", ErrInjected, n, slot))
+			}
+		},
+	})
+}
+
+// DelayAtSubmission installs a hook on p that sleeps d inside every slot
+// of the nth Run submission — a pure schedule perturbation (slots complete
+// in a different interleaving) under which all determinism-gated output
+// must stay bit-identical.
+func DelayAtSubmission(p *parallel.Pool, n int64, d time.Duration) {
+	base := p.SubmitCount()
+	p.SetFaultHook(&parallel.FaultHook{
+		Slot: func(seq int64, k int) {
+			if seq == base+n {
+				time.Sleep(d)
+			}
+		},
+	})
+}
+
+// Observe installs an empty hook on p. The pool numbers submissions only
+// while a hook is installed (an unhooked pool pays nothing on the submit
+// path), so a probe run under Observe is how tests measure a workload's
+// submission count via Pool.SubmitCount before sizing injection points.
+func Observe(p *parallel.Pool) { p.SetFaultHook(&parallel.FaultHook{}) }
+
+// Clear uninstalls any hook from p.
+func Clear(p *parallel.Pool) { p.SetFaultHook(nil) }
+
+// CheckCtx is a context.Context whose cancellation is defined by poll
+// count, not wall clock: Err() returns nil for the first n-1 calls and
+// trips on the nth. Because the engines poll Err() exactly once per
+// round/level boundary, CheckCtx turns "the Nth boundary" into a
+// deterministic injection point. It deliberately has no Done channel —
+// the engines' boundary polls are the only cancellation points, which is
+// exactly the property under test.
+type CheckCtx struct {
+	n      int64
+	polls  atomic.Int64
+	panics bool
+}
+
+// CancelAtCheck returns a context whose Err() reports context.Canceled
+// from the nth poll (1-based) onward. n <= 0 cancels on the first poll.
+func CancelAtCheck(n int) *CheckCtx { return &CheckCtx{n: int64(n)} }
+
+// PanicAtCheck returns a context whose Err() panics with ErrInjected at
+// the nth poll (1-based) and every later one — modelling a poisoned
+// request object; the engine boundaries must contain it like any other
+// panic.
+func PanicAtCheck(n int) *CheckCtx { return &CheckCtx{n: int64(n), panics: true} }
+
+// Polls returns how many times Err() has been called — the probe tests
+// use to size n to a workload's boundary count.
+func (c *CheckCtx) Polls() int { return int(c.polls.Load()) }
+
+// Err counts the poll and trips at the configured one.
+func (c *CheckCtx) Err() error {
+	if p := c.polls.Add(1); p >= c.n {
+		if c.panics {
+			panic(fmt.Errorf("%w: boundary poll %d", ErrInjected, p))
+		}
+		return context.Canceled
+	}
+	return nil
+}
+
+// Deadline implements context.Context: no deadline.
+func (c *CheckCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// Done implements context.Context. The nil channel never fires; see the
+// type comment.
+func (c *CheckCtx) Done() <-chan struct{} { return nil }
+
+// Value implements context.Context: no values.
+func (c *CheckCtx) Value(any) any { return nil }

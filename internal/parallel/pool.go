@@ -40,6 +40,10 @@ type Pool struct {
 	jobPool   sync.Pool
 	closeOnce sync.Once
 	closed    atomic.Bool
+	// hook, when non-nil, instruments every submission for fault-injection
+	// tests (SetFaultHook); submitSeq numbers the submissions it observes.
+	hook      atomic.Pointer[FaultHook]
+	submitSeq atomic.Int64
 }
 
 // job is one submitted parallel loop: slots logical work units drained via
@@ -52,6 +56,13 @@ type job struct {
 	refs    atomic.Int64  // owner + enqueued hand-offs still holding the job
 	wake    chan struct{} // helper that completes the last slot -> owner
 	pool    *Pool
+	// panicked records the first panic captured in a slot body; Run
+	// re-panics with it on the submitter once the job has drained. Slots
+	// claimed after a panic is recorded are skipped (their results would be
+	// discarded anyway), but still counted, so the drain protocol — and
+	// with it the pool, the descriptor freelist and Wait — is unaffected
+	// by a faulting body.
+	panicked atomic.Pointer[PanicError]
 }
 
 // NewPool starts a pool of the given number of persistent workers;
@@ -102,7 +113,11 @@ func (p *Pool) Size() int { return p.orDefault().size }
 
 // Close parks the pool permanently: the persistent workers exit. Primitives
 // invoked afterwards still complete correctly — the submitting goroutine
-// executes every slot itself.
+// executes every slot itself. Close is safe to race with in-flight
+// submissions: jobs already handed to workers drain normally, hand-offs the
+// exiting workers never pick up are drained here or by the submitter that
+// observes the pool closed, and every such Run still completes all slots
+// before returning.
 func (p *Pool) Close() {
 	if p == nil {
 		return // the shared default pool is never closed
@@ -110,17 +125,10 @@ func (p *Pool) Close() {
 	p.closeOnce.Do(func() {
 		p.closed.Store(true)
 		close(p.quit)
-		// Workers may exit with hand-offs still queued; drain and release
-		// them so their job descriptors and closures are not pinned for the
-		// pool's lifetime. (The owning Run completes the work regardless.)
-		for {
-			select {
-			case j := <-p.jobs:
-				j.release()
-			default:
-				return
-			}
-		}
+		// Workers may exit with hand-offs still queued; drain them —
+		// helping each to completion and releasing it — so no job
+		// descriptor or closure is pinned for the pool's lifetime.
+		p.drainQueued()
 	})
 }
 
@@ -139,7 +147,12 @@ func (p *Pool) worker() {
 }
 
 // work drains slots until the claim counter passes the end, reporting
-// whether this goroutine completed the job's final slot.
+// whether this goroutine completed the job's final slot. A slot body that
+// panics is contained by runSlot: the panic is recorded on the job and the
+// slot still counts as completed, so the drain protocol never stalls and
+// the worker goroutine survives. Once a panic is recorded the remaining
+// slots are claimed but not executed (fast-fail — the submitter is about
+// to discard the computation and re-panic).
 func (j *job) work() (closedJob bool) {
 	slots := j.slots
 	for {
@@ -147,11 +160,26 @@ func (j *job) work() (closedJob bool) {
 		if k >= slots {
 			return closedJob
 		}
-		j.fn(int(k))
+		if j.panicked.Load() == nil {
+			j.runSlot(int(k))
+		}
 		if j.pending.Add(-1) == 0 {
 			closedJob = true
 		}
 	}
+}
+
+// runSlot executes one slot body, converting a panic into the job's
+// recorded *PanicError (first panic wins; a value that is already a
+// *PanicError — a nested submission's fault — is kept as-is so the
+// innermost stack survives).
+func (j *job) runSlot(k int) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicked.CompareAndSwap(nil, Recovered(r))
+		}
+	}()
+	j.fn(k)
 }
 
 // release drops one reference; the last holder returns the descriptor to
@@ -170,8 +198,28 @@ func (j *job) release() {
 // complete. Each slot runs exactly once; which goroutine runs it is
 // unspecified. Run returns only after every slot has finished (all writes
 // made by fn happen-before Run returns).
+//
+// Panic containment: if any slot body panics, the panic is recovered in
+// the executing goroutine, the remaining slots are skipped, the job drains
+// normally (the pool, its workers and the recycled descriptor all stay
+// usable), and Run re-panics on the calling goroutine with the first
+// captured *PanicError. Callers that need an error instead recover it at
+// their boundary (parallel.Recovered); on the serial slots <= 1 path the
+// body's panic propagates unwrapped, so boundaries must recover any value,
+// not just *PanicError. After a contained panic the slot coverage is
+// partial by design — the computation's outputs must be discarded.
 func (p *Pool) Run(slots int, fn func(k int)) {
 	p = p.orDefault()
+	if h := p.hook.Load(); h != nil {
+		seq := p.submitSeq.Add(1)
+		if h.Submit != nil {
+			h.Submit(seq, slots)
+		}
+		if h.Slot != nil {
+			inner := fn
+			fn = func(k int) { h.Slot(seq, k); inner(k) }
+		}
+	}
 	if slots <= 1 {
 		if slots == 1 {
 			fn(0)
@@ -183,6 +231,7 @@ func (p *Pool) Run(slots int, fn func(k int)) {
 	j.slots = int64(slots)
 	j.next.Store(0)
 	j.pending.Store(int64(slots))
+	j.panicked.Store(nil)
 	offers := p.size
 	if offers > slots-1 {
 		offers = slots - 1
@@ -210,12 +259,43 @@ offered:
 	if sent < offers {
 		j.refs.Add(int64(sent - offers))
 	}
+	if sent > 0 && p.closed.Load() {
+		// Close raced with the sends above: its drain may have run before
+		// our hand-offs landed, and the exiting workers may never receive
+		// them. Drain whatever is queued ourselves, acting exactly like a
+		// worker (complete, signal, release), so no descriptor or closure —
+		// ours or a concurrent submitter's — is pinned for the pool's
+		// lifetime. Seen-closed ordering guarantees Close's store happened
+		// before this load, so anything it missed is still in the channel.
+		p.drainQueued()
+	}
 	if !j.work() {
 		// Helpers still own claimed slots; the one that completes the last
 		// slot signals wake.
 		<-j.wake
 	}
+	pe := j.panicked.Load()
 	j.release()
+	if pe != nil {
+		panic(pe)
+	}
+}
+
+// drainQueued empties the job channel, standing in for the exited workers:
+// each received hand-off is helped to completion and released. Called by
+// Close and by submitters that observe the pool closed after enqueueing.
+func (p *Pool) drainQueued() {
+	for {
+		select {
+		case j := <-p.jobs:
+			if j.work() {
+				j.wake <- struct{}{}
+			}
+			j.release()
+		default:
+			return
+		}
+	}
 }
 
 // For runs body(i) for every i in [0, n) on the pool, splitting the index
@@ -345,7 +425,9 @@ type fpair struct {
 }
 
 // MaxFloat64 returns the maximum of f(i) over [0, n) and the smallest index
-// attaining it. n must be >= 1.
+// attaining it. n must be >= 1: an empty range has no maximum, and the call
+// panics with "parallel: MaxFloat64 over empty range" rather than invent a
+// sentinel that could be mistaken for data.
 func (p *Pool) MaxFloat64(workers, n int, f func(i int) float64) (max float64, argmax int) {
 	if n <= 0 {
 		panic("parallel: MaxFloat64 over empty range")

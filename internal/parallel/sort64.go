@@ -41,7 +41,9 @@ func (p *Pool) SortUint64(workers int, keys []uint64, scratch []uint64) {
 // SortPairs stably sorts the records (keys[i], vals[i]) by key ascending,
 // permuting both slices in place; records with equal keys keep their
 // original relative order. keyScratch/valScratch must be nil or at least
-// len(keys) long. len(vals) must equal len(keys).
+// len(keys) long. len(vals) must equal len(keys); a mismatch panics with
+// "parallel: SortPairs key/value length mismatch" (a silent truncation
+// would desynchronize keys from their payloads).
 func (p *Pool) SortPairs(workers int, keys []uint64, vals []uint32, keyScratch []uint64, valScratch []uint32) {
 	p = p.orDefault()
 	n := len(keys)
