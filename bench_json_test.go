@@ -44,15 +44,16 @@ func writeBenchJSON(t *testing.T, path string, records []benchRecord) {
 
 // TestWriteBenchJSON materializes the machine-readable benchmark
 // artifacts: BENCH_E22.json (the per-level allocation gates for the
-// unweighted and weighted hierarchy engines) and BENCH_E23.json (the
-// incremental-update-vs-rebuild experiment). Gated behind MPX_BENCH_JSON
-// so ordinary test runs stay fast; CI sets it and uploads both files.
+// unweighted and weighted hierarchy engines), BENCH_E23.json (the
+// incremental-update-vs-rebuild experiment), and BENCH_E24.json (the
+// snapshot-load-vs-text-parse experiment). Gated behind MPX_BENCH_JSON
+// so ordinary test runs stay fast; CI sets it and uploads the files.
 // Each wrapped benchmark keeps its own hard gate (alloc ceilings, the ≥3×
-// speedup floor), so a regression fails this test rather than just
-// shifting a number in the artifact.
+// and ≥10× speedup floors), so a regression fails this test rather than
+// just shifting a number in the artifact.
 func TestWriteBenchJSON(t *testing.T) {
 	if os.Getenv("MPX_BENCH_JSON") == "" {
-		t.Skip("set MPX_BENCH_JSON=1 to run the gate benchmarks and write BENCH_E22.json / BENCH_E23.json")
+		t.Skip("set MPX_BENCH_JSON=1 to run the gate benchmarks and write BENCH_E22.json / BENCH_E23.json / BENCH_E24.json")
 	}
 	writeBenchJSON(t, "BENCH_E22.json", []benchRecord{
 		recordOf("E22HierarchyAllocGate", BenchmarkE22HierarchyAllocGate),
@@ -61,5 +62,9 @@ func TestWriteBenchJSON(t *testing.T) {
 	writeBenchJSON(t, "BENCH_E23.json", []benchRecord{
 		recordOf("E23IncrementalUpdate", BenchmarkE23IncrementalUpdate),
 		recordOf("E23RebuildBaseline", BenchmarkE23RebuildBaseline),
+	})
+	writeBenchJSON(t, "BENCH_E24.json", []benchRecord{
+		recordOf("E24SnapshotLoad", BenchmarkE24SnapshotLoad),
+		recordOf("E24TextParseBaseline", BenchmarkE24TextParseBaseline),
 	})
 }

@@ -8,6 +8,8 @@
 //	mpx -gen grid -rows 200 -cols 200 -beta 0.05 -png out.png
 //	mpx -gen gnm -n 100000 -m 400000 -beta 0.1 -algo ballgrow
 //	mpx -in graph.txt -beta 0.02 -seed 7 -validate
+//	mpx -in big.gr -snapshot-out big.mpxsnap          (convert once, then)
+//	mpx -in big.mpxsnap -beta 0.1                     (mmap-loaded CSR snapshot)
 //	mpx -app lowstretch -gen grid -rows 150 -cols 150 -beta 0.2 -workers 8
 //	mpx -app connectivity -gen rmat -scale 15 -m 200000 -beta 0.4 -direction pull
 package main
@@ -17,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -28,6 +31,7 @@ import (
 	"mpx/internal/apps/spanner"
 	"mpx/internal/core"
 	"mpx/internal/graph"
+	"mpx/internal/graph/snapshot"
 	"mpx/internal/hier"
 	"mpx/internal/parallel"
 	"mpx/internal/render"
@@ -42,8 +46,9 @@ func main() {
 		n         = flag.Int("n", 10000, "vertex count for path/cycle/tree/gnm/pa")
 		m         = flag.Int64("m", 40000, "edge count for gnm/rmat")
 		scale     = flag.Int("scale", 14, "rmat/hypercube scale (n = 2^scale)")
-		in        = flag.String("in", "", "read edge-list graph from file instead of generating")
-		dimacs    = flag.Bool("dimacs", false, "treat -in file as DIMACS format")
+		in        = flag.String("in", "", "read graph from file instead of generating; format auto-detected (CSR snapshot, binary, DIMACS, edge list)")
+		dimacs    = flag.Bool("dimacs", false, "force DIMACS parsing of the -in file (bypass format auto-detection)")
+		snapOut   = flag.String("snapshot-out", "", "write the loaded or generated graph (weighted under -weighted) as a binary CSR snapshot to this path, then run normally")
 		beta      = flag.Float64("beta", 0.1, "decomposition parameter in (0,1)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -169,23 +174,35 @@ func main() {
 	// file is parsed a single time, weights included) and run before the
 	// unweighted path.
 	if *weighted {
-		wg, err := loadWeightedGraph(*in, *dimacs, *gen, *rows, *cols, *n, *m, *scale, *wmax, *seed)
+		wg, closer, fromFile, err := loadWeightedGraph(*in, *dimacs, *gen, *rows, *cols, *n, *m, *scale, *wmax, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mpx:", err)
 			os.Exit(1)
 		}
+		if closer != nil {
+			defer closer.Close()
+		}
+		if *snapOut != "" {
+			writeSnapshotOut(*snapOut, nil, wg)
+		}
 		pool := parallel.NewPool(0)
 		defer pool.Close()
-		if err := runWeightedApp(ctx, *app, pool, wg, *beta, *seed, *workers, dir, *wmax, *in != "" && *dimacs); err != nil {
+		if err := runWeightedApp(ctx, *app, pool, wg, *beta, *seed, *workers, dir, *wmax, fromFile); err != nil {
 			fail(err, *timeout)
 		}
 		return
 	}
 
-	g, gridRows, gridCols, err := buildGraph(*in, *dimacs, *gen, *rows, *cols, *n, *m, *scale, *seed)
+	g, gridRows, gridCols, closer, err := buildGraph(*in, *dimacs, *gen, *rows, *cols, *n, *m, *scale, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpx:", err)
 		os.Exit(1)
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	if *snapOut != "" {
+		writeSnapshotOut(*snapOut, g, nil)
 	}
 	// One persistent worker pool serves the whole run; every parallel round
 	// of every algorithm below executes on it.
@@ -309,20 +326,32 @@ func fail(err error, timeout time.Duration) {
 	os.Exit(1)
 }
 
-func buildGraph(in string, dimacs bool, gen string, rows, cols, n int, m int64, scale int, seed uint64) (*graph.Graph, int, int, error) {
+// buildGraph loads (-in, any supported format via graph.OpenAny) or
+// generates the input graph. The io.Closer, when non-nil, owns resources
+// backing the graph — a snapshot's memory mapping — and must outlive
+// every use of it.
+func buildGraph(in string, dimacs bool, gen string, rows, cols, n int, m int64, scale int, seed uint64) (*graph.Graph, int, int, io.Closer, error) {
 	if in != "" {
-		f, err := os.Open(in)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		defer f.Close()
 		if dimacs {
+			f, err := os.Open(in)
+			if err != nil {
+				return nil, 0, 0, nil, err
+			}
+			defer f.Close()
 			g, err := graph.ReadDIMACS(f)
-			return g, 0, 0, err
+			return g, 0, 0, nil, err
 		}
-		g, err := graph.ReadEdgeList(f)
-		return g, 0, 0, err
+		o, err := graph.OpenAny(in)
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		return o.Graph, 0, 0, o, nil
 	}
+	g, rows2, cols2, err := generateGraph(gen, rows, cols, n, m, scale, seed)
+	return g, rows2, cols2, nil, err
+}
+
+func generateGraph(gen string, rows, cols, n int, m int64, scale int, seed uint64) (*graph.Graph, int, int, error) {
 	switch gen {
 	case "grid":
 		return graph.Grid2D(rows, cols), rows, cols, nil
@@ -349,27 +378,61 @@ func buildGraph(in string, dimacs bool, gen string, rows, cols, n int, m int64, 
 	}
 }
 
-// loadWeightedGraph builds the weighted input in one pass: a weighted
-// DIMACS file keeps its arc weights (parsed exactly once); every other
+// loadWeightedGraph builds the weighted input in one pass: a source that
+// carries weights (a weighted snapshot, or a DIMACS file — auto-detected
+// or forced with -dimacs) keeps them, parsed exactly once; every other
 // source builds the unweighted graph and lifts it with deterministic
-// U(1, wmax) weights from the seed.
-func loadWeightedGraph(in string, dimacs bool, gen string, rows, cols, n int, m int64, scale int, wmax float64, seed uint64) (*graph.WeightedGraph, error) {
-	if in != "" && dimacs {
-		f, err := os.Open(in)
-		if err != nil {
-			return nil, err
+// U(1, wmax) weights from the seed. The io.Closer, when non-nil, owns the
+// graph's backing resources (see buildGraph).
+func loadWeightedGraph(in string, dimacs bool, gen string, rows, cols, n int, m int64, scale int, wmax float64, seed uint64) (wg *graph.WeightedGraph, closer io.Closer, fromFile bool, err error) {
+	if in != "" {
+		if dimacs {
+			f, err := os.Open(in)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			defer f.Close()
+			wg, err := graph.ReadDIMACSWeighted(f)
+			return wg, nil, true, err
 		}
-		defer f.Close()
-		return graph.ReadDIMACSWeighted(f)
+		o, err := graph.OpenAny(in)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if o.Weighted != nil {
+			return o.Weighted, o, true, nil
+		}
+		if wmax < 1 {
+			o.Close()
+			return nil, nil, false, fmt.Errorf("-wmax must be >= 1, got %g", wmax)
+		}
+		return graph.RandomWeights(o.Graph, 1, wmax, seed), o, false, nil
 	}
 	if wmax < 1 {
-		return nil, fmt.Errorf("-wmax must be >= 1, got %g", wmax)
+		return nil, nil, false, fmt.Errorf("-wmax must be >= 1, got %g", wmax)
 	}
-	g, _, _, err := buildGraph(in, dimacs, gen, rows, cols, n, m, scale, seed)
+	g, _, _, err := generateGraph(gen, rows, cols, n, m, scale, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
-	return graph.RandomWeights(g, 1, wmax, seed), nil
+	return graph.RandomWeights(g, 1, wmax, seed), nil, false, nil
+}
+
+// writeSnapshotOut writes the -snapshot-out artifact and reports the
+// content fingerprint — the registry/cache key a serving layer would use.
+func writeSnapshotOut(path string, g *graph.Graph, wg *graph.WeightedGraph) {
+	if err := snapshot.WriteFile(path, g, wg); err != nil {
+		fmt.Fprintln(os.Stderr, "mpx:", err)
+		os.Exit(1)
+	}
+	fp := uint64(0)
+	kind := "unweighted"
+	if wg != nil {
+		fp, kind = wg.Fingerprint(), "weighted"
+	} else {
+		fp = g.Fingerprint()
+	}
+	fmt.Printf("snapshot: wrote %s (%s) fingerprint=%016x\n", path, kind, fp)
 }
 
 // runWeightedApp drives the weighted variant of a hierarchy application —

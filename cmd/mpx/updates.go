@@ -100,7 +100,7 @@ func parseUpdateTrace(r io.Reader) ([]graph.Batch, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: %v", err)
+		return nil, fmt.Errorf("trace line %d: %v", lineNo+1, err)
 	}
 	flush()
 	if len(batches) == 0 {

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zero-copy CSR constructors: adopt caller-provided arrays as a graph
+// after validating every structural invariant the rest of the library
+// assumes. The snapshot loader (internal/graph/snapshot) hands these
+// views straight over memory-mapped file sections, so the checks here are
+// the line between "corrupt file" and "undefined behavior in a traversal
+// kernel": they must catch everything the builders normally guarantee.
+//
+// Invariants checked:
+//
+//   - offsets is non-empty, starts at 0, is non-decreasing, and its last
+//     entry equals len(adj);
+//   - len(adj) is even (every undirected edge is stored as two arcs);
+//   - every neighbor list is sorted non-decreasing (duplicates are legal:
+//     FromEdges keeps parallel edges) with all ids in [0, n) and no self
+//     loops (every builder drops them).
+//
+// Symmetry (u in adj[v] ⇔ v in adj[u]) is NOT verified — it would cost
+// O(m log d) — so these constructors trust the writer for it, as does
+// every algorithm downstream. The checksummed snapshot format makes an
+// asymmetric payload a deliberate forgery rather than an accident.
+
+// ErrInvalidCSR reports caller-provided CSR arrays that violate a
+// structural invariant.
+var ErrInvalidCSR = errorString("graph: invalid CSR")
+
+// validateCSR checks the shared Graph invariants on raw arrays.
+func validateCSR(offsets []int64, adj []uint32) error {
+	if len(offsets) == 0 {
+		return fmt.Errorf("%w: empty offsets (need at least [0])", ErrInvalidCSR)
+	}
+	if offsets[0] != 0 {
+		return fmt.Errorf("%w: offsets[0] = %d, want 0", ErrInvalidCSR, offsets[0])
+	}
+	n := len(offsets) - 1
+	for v := 0; v < n; v++ {
+		if offsets[v+1] < offsets[v] {
+			return fmt.Errorf("%w: offsets decrease at vertex %d (%d -> %d)", ErrInvalidCSR, v, offsets[v], offsets[v+1])
+		}
+	}
+	if offsets[n] != int64(len(adj)) {
+		return fmt.Errorf("%w: offsets end at %d but adjacency has %d arcs", ErrInvalidCSR, offsets[n], len(adj))
+	}
+	if len(adj)%2 != 0 {
+		return fmt.Errorf("%w: odd arc count %d (undirected edges store two arcs)", ErrInvalidCSR, len(adj))
+	}
+	for v := 0; v < n; v++ {
+		nb := adj[offsets[v]:offsets[v+1]]
+		for i, u := range nb {
+			if int(u) >= n {
+				return fmt.Errorf("%w: vertex %d lists neighbor %d, out of [0,%d)", ErrInvalidCSR, v, u, n)
+			}
+			if u == uint32(v) {
+				return fmt.Errorf("%w: self loop at vertex %d", ErrInvalidCSR, v)
+			}
+			if i > 0 && u < nb[i-1] {
+				return fmt.Errorf("%w: adjacency of vertex %d not sorted (%d after %d)", ErrInvalidCSR, v, u, nb[i-1])
+			}
+		}
+	}
+	return nil
+}
+
+// FromCSR adopts offsets/adjacency arrays as a *Graph without copying.
+// The arrays are owned by the graph afterwards and must not be modified;
+// if they alias a memory-mapped file the graph is only valid while the
+// mapping is.
+func FromCSR(offsets []int64, adj []uint32) (*Graph, error) {
+	if err := validateCSR(offsets, adj); err != nil {
+		return nil, err
+	}
+	return &Graph{offsets: offsets, adj: adj}, nil
+}
+
+// FromWeightedCSR adopts offsets/adjacency/weights arrays as a
+// *WeightedGraph without copying, under the same ownership rules as
+// FromCSR. Weights must align with the adjacency and be finite and
+// positive; weight symmetry across the two directions of an edge is
+// trusted, like adjacency symmetry.
+func FromWeightedCSR(offsets []int64, adj []uint32, weights []float64) (*WeightedGraph, error) {
+	if err := validateCSR(offsets, adj); err != nil {
+		return nil, err
+	}
+	if len(weights) != len(adj) {
+		return nil, fmt.Errorf("%w: %d weights for %d arcs", ErrInvalidCSR, len(weights), len(adj))
+	}
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: arc %d: %v", errNonPositiveWeight, i, w)
+		}
+	}
+	return &WeightedGraph{offsets: offsets, adj: adj, weights: weights}, nil
+}
+
+// Weights exposes the per-arc weight array aligned with Adjacency(). The
+// slice must not be modified.
+func (g *WeightedGraph) Weights() []float64 { return g.weights }
+
+// Offsets exposes the CSR offset array (length n+1). The slice must not
+// be modified.
+func (g *WeightedGraph) Offsets() []int64 { return g.offsets }
+
+// Adjacency exposes the CSR adjacency array (length 2m). The slice must
+// not be modified.
+func (g *WeightedGraph) Adjacency() []uint32 { return g.adj }

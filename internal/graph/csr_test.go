@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestFromCSRValidation is the structural-invariant table for the
+// zero-copy constructors: every class of malformed array the snapshot
+// loader could hand over must come back as ErrInvalidCSR.
+func TestFromCSRValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		offsets []int64
+		adj     []uint32
+	}{
+		{"empty offsets", nil, nil},
+		{"offsets start nonzero", []int64{1, 2}, []uint32{0}},
+		{"offsets decrease", []int64{0, 2, 1, 4}, []uint32{1, 2, 0, 0}},
+		{"offsets end short", []int64{0, 1}, []uint32{1, 0}},
+		{"odd arcs", []int64{0, 1}, []uint32{1}},
+		{"neighbor out of range", []int64{0, 1, 2}, []uint32{1, 5}},
+		{"self loop", []int64{0, 1, 2}, []uint32{1, 1}},
+		{"unsorted neighbors", []int64{0, 2, 3, 5}, []uint32{2, 1, 0, 0, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := FromCSR(tc.offsets, tc.adj); !errors.Is(err, ErrInvalidCSR) {
+			t.Errorf("FromCSR %s: error %v, want ErrInvalidCSR", tc.name, err)
+		}
+		weights := make([]float64, len(tc.adj))
+		for i := range weights {
+			weights[i] = 1
+		}
+		if _, err := FromWeightedCSR(tc.offsets, tc.adj, weights); !errors.Is(err, ErrInvalidCSR) {
+			t.Errorf("FromWeightedCSR %s: error %v, want ErrInvalidCSR", tc.name, err)
+		}
+	}
+}
+
+// TestFromCSRAdopts checks the valid path: the arrays are adopted
+// without copying, and the graph matches the builder-constructed twin.
+func TestFromCSRAdopts(t *testing.T) {
+	want := Path(4) // 0-1-2-3
+	g, err := FromCSR([]int64{0, 1, 3, 5, 6}, []uint32{1, 0, 2, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("fingerprint %016x != Path(4) %016x", g.Fingerprint(), want.Fingerprint())
+	}
+	// Parallel edges are legal (FromEdges keeps them): duplicate sorted
+	// neighbors must validate.
+	if _, err := FromCSR([]int64{0, 2, 4}, []uint32{1, 1, 0, 0}); err != nil {
+		t.Fatalf("parallel edge rejected: %v", err)
+	}
+}
+
+// TestFromWeightedCSRWeights covers the weight-specific checks.
+func TestFromWeightedCSRWeights(t *testing.T) {
+	offsets := []int64{0, 1, 2}
+	adj := []uint32{1, 0}
+	if _, err := FromWeightedCSR(offsets, adj, []float64{1}); !errors.Is(err, ErrInvalidCSR) {
+		t.Errorf("length mismatch: error %v", err)
+	}
+	for _, w := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := FromWeightedCSR(offsets, adj, []float64{w, w}); err == nil {
+			t.Errorf("weight %v accepted", w)
+		}
+	}
+	wg, err := FromWeightedCSR(offsets, adj, []float64{2.5, 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := wg.Weight(0, 1); !ok || w != 2.5 {
+		t.Fatalf("Weight(0,1) = %v,%v", w, ok)
+	}
+}
+
+// TestFingerprintProperties pins the fingerprint semantics the snapshot
+// store depends on: construction-order independence (the CSR is
+// canonical), sensitivity to every component, and weighted ≠ unweighted.
+func TestFingerprintProperties(t *testing.T) {
+	a, err := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromEdges(4, []Edge{{2, 3}, {1, 2}, {1, 0}}) // shuffled + flipped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint depends on edge input order")
+	}
+	c, _ := FromEdges(4, []Edge{{0, 1}, {1, 2}})
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("fingerprint ignores a missing edge")
+	}
+	d, _ := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("fingerprint ignores an isolated vertex")
+	}
+	wg := RandomWeights(a, 1, 2, 1)
+	if wg.Fingerprint() == a.Fingerprint() {
+		t.Error("weighted fingerprint collides with unweighted")
+	}
+	wg2 := RandomWeights(a, 1, 2, 2) // different seed → different weights
+	if wg.Fingerprint() == wg2.Fingerprint() {
+		t.Error("fingerprint ignores weight values")
+	}
+	var zero Graph
+	empty, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Fingerprint() != empty.Fingerprint() {
+		t.Error("zero-value and empty graphs fingerprint differently")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -94,7 +95,10 @@ func ReadDIMACS(r io.Reader) (*Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// The scanner fails while reading the line *after* the last one it
+		// delivered; without the position a "token too long" on a multi-GB
+		// instance is undebuggable.
+		return nil, fmt.Errorf("graph: line %d: %w", lineNo+1, err)
 	}
 	if !header {
 		return nil, fmt.Errorf("graph: missing DIMACS problem line")
@@ -188,32 +192,66 @@ func ReadDIMACSWeighted(r io.Reader) (*WeightedGraph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: line %d: %w", lineNo+1, err)
 	}
 	if !header {
 		return nil, fmt.Errorf("graph: missing DIMACS problem line")
 	}
 	// Collapse duplicate records before the strict CSR build, keeping each
 	// pair's last weight (matching the FromWeightedEdges alignment rule).
-	seen := make(map[uint64]int, len(edges))
-	dedup := edges[:0]
+	// Same sort-based canonical dedup as fromEdges — a stable sort keeps
+	// equal pairs in file order, so the last record of a run carries the
+	// winning weight — rather than a map pre-sized to len(edges), which
+	// allocated O(m) even for duplicate-free files.
+	canon := edges[:0]
 	for _, e := range edges {
 		if e.U == e.V {
 			continue
 		}
-		a, b := e.U, e.V
-		if a > b {
-			a, b = b, a
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
 		}
-		key := uint64(a)<<32 | uint64(b)
-		if i, ok := seen[key]; ok {
-			dedup[i].W = e.W
+		canon = append(canon, e)
+	}
+	sort.SliceStable(canon, func(i, j int) bool {
+		if canon[i].U != canon[j].U {
+			return canon[i].U < canon[j].U
+		}
+		return canon[i].V < canon[j].V
+	})
+	dedup := canon[:0]
+	for i, e := range canon {
+		if i > 0 && e.U == dedup[len(dedup)-1].U && e.V == dedup[len(dedup)-1].V {
+			dedup[len(dedup)-1].W = e.W // last weight wins
 			continue
 		}
-		seen[key] = len(dedup)
 		dedup = append(dedup, e)
 	}
 	return FromWeightedEdges(n, dedup)
+}
+
+// WriteDIMACSWeighted writes g in the DIMACS shortest-path format
+// ("p sp n m" header, "a u v w" arc lines, 1-based, each undirected edge
+// listed once). Weights print via strconv.FormatFloat('g', -1), the
+// shortest decimal that parses back to the identical float64 bits, so a
+// read → write → read round trip is exact — the writer ReadDIMACSWeighted
+// lacked (WriteDIMACS silently dropped the weights).
+func WriteDIMACSWeighted(w io.Writer, g *WeightedGraph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p sp %d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		nb, ws := g.Neighbors(uint32(v))
+		for i, u := range nb {
+			if uint32(v) < u {
+				if _, err := fmt.Fprintf(bw, "a %d %d %s\n", v+1, u+1, strconv.FormatFloat(ws[i], 'g', -1, 64)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
 }
 
 // WriteDIMACS writes g in DIMACS edge format (1-based).

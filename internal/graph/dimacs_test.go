@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestScannerErrorsCarryLineNumber pins the bugfix for scanner-level
+// failures: a line longer than the 1 MiB token buffer used to surface as
+// a bare "bufio.Scanner: token too long" with no position, which on a
+// multi-GB instance is undebuggable. All three text readers must report
+// the offending line.
+func TestScannerErrorsCarryLineNumber(t *testing.T) {
+	long := strings.Repeat("c", 2<<20) // one 2 MiB line, over the 1 MiB buffer
+	cases := []struct {
+		name     string
+		in       string
+		read     func(*strings.Reader) error
+		wantLine string
+	}{
+		{
+			"dimacs", "p edge 2 1\n" + long + "\n",
+			func(r *strings.Reader) error { _, err := ReadDIMACS(r); return err },
+			"line 2",
+		},
+		{
+			"dimacs weighted", "c ok\np sp 2 1\n" + long + "\n",
+			func(r *strings.Reader) error { _, err := ReadDIMACSWeighted(r); return err },
+			"line 3",
+		},
+		{
+			"edge list", "2 1\n" + long + "\n",
+			func(r *strings.Reader) error { _, err := ReadEdgeList(r); return err },
+			"line 2",
+		},
+	}
+	for _, tc := range cases {
+		err := tc.read(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: long line accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantLine) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.wantLine)
+		}
+		if !strings.Contains(err.Error(), "token too long") {
+			t.Errorf("%s: error %q lost the scanner cause", tc.name, err)
+		}
+	}
+}
+
+// TestWriteDIMACSWeightedRoundTrip is the read → write → read bit-identity
+// test for the weighted writer: every weight, including awkward values
+// (shortest-decimal-hostile fractions, denormals, huge magnitudes), must
+// come back as the identical float64 bit pattern, and the CSR must match
+// array for array.
+func TestWriteDIMACSWeightedRoundTrip(t *testing.T) {
+	weights := []float64{
+		1.0 / 3.0,
+		math.Pi,
+		5e-324, // smallest denormal
+		1e300,
+		math.Nextafter(1, 2),
+		2.5,
+		1,
+	}
+	var edges []WeightedEdge
+	for i, w := range weights {
+		edges = append(edges, WeightedEdge{U: uint32(i), V: uint32(i + 1), W: w})
+	}
+	wg, err := FromWeightedEdges(len(weights)+1, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDIMACSWeighted(&buf, wg); err != nil {
+		t.Fatal(err)
+	}
+	wg2, err := ReadDIMACSWeighted(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWeightedEqual(t, wg, wg2)
+
+	// And a second trip through the writer must be byte-identical: the
+	// formatter is canonical.
+	var buf1, buf2 bytes.Buffer
+	if err := WriteDIMACSWeighted(&buf1, wg); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDIMACSWeighted(&buf2, wg2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("write → read → write changed the bytes")
+	}
+}
+
+// TestWriteDIMACSWeightedRoundTripRandom widens the bit-identity check to
+// a generated graph with uniform random weights.
+func TestWriteDIMACSWeightedRoundTripRandom(t *testing.T) {
+	wg := RandomWeights(GNM(200, 800, 42), 1, 10, 7)
+	var buf bytes.Buffer
+	if err := WriteDIMACSWeighted(&buf, wg); err != nil {
+		t.Fatal(err)
+	}
+	wg2, err := ReadDIMACSWeighted(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWeightedEqual(t, wg, wg2)
+}
+
+func assertWeightedEqual(t *testing.T, a, b *WeightedGraph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape changed: n %d->%d m %d->%d", a.NumVertices(), b.NumVertices(), a.NumEdges(), b.NumEdges())
+	}
+	ao, bo := a.Offsets(), b.Offsets()
+	for i := range ao {
+		if ao[i] != bo[i] {
+			t.Fatalf("offsets differ at %d: %d vs %d", i, ao[i], bo[i])
+		}
+	}
+	aa, ba := a.Adjacency(), b.Adjacency()
+	aw, bw := a.Weights(), b.Weights()
+	for i := range aa {
+		if aa[i] != ba[i] {
+			t.Fatalf("adjacency differs at arc %d: %d vs %d", i, aa[i], ba[i])
+		}
+		if math.Float64bits(aw[i]) != math.Float64bits(bw[i]) {
+			t.Fatalf("weight bits differ at arc %d: %x vs %x", i, math.Float64bits(aw[i]), math.Float64bits(bw[i]))
+		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprint changed: %016x vs %016x", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+// TestReadDIMACSWeightedDedupOrder pins the sort-based dedup rewrite
+// against the documented contract: duplicate records (either orientation)
+// collapse to ONE edge carrying the file's LAST weight, self loops drop,
+// and the result is bit-identical to FromWeightedEdges over the
+// already-deduplicated edge list — exactly what the old map-based dedup
+// produced.
+func TestReadDIMACSWeightedDedupOrder(t *testing.T) {
+	in := "p sp 4 7\n" +
+		"a 1 2 5\n" +
+		"a 3 4 1\n" +
+		"a 2 1 7\n" + // flipped duplicate of (1,2): weight 7 wins
+		"a 1 2 9\n" + // and then 9 wins
+		"a 2 3 2\n" +
+		"a 3 3 8\n" + // self loop: dropped
+		"a 4 3 4\n" // flipped duplicate of (3,4): 4 wins
+	wg, err := ReadDIMACSWeighted(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FromWeightedEdges(4, []WeightedEdge{
+		{U: 0, V: 1, W: 9}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWeightedEqual(t, wg, want)
+	if w, _ := wg.Weight(0, 1); w != 9 {
+		t.Fatalf("weight(0,1) = %v, want last-wins 9", w)
+	}
+	if w, _ := wg.Weight(2, 3); w != 4 {
+		t.Fatalf("weight(2,3) = %v, want last-wins 4", w)
+	}
+}

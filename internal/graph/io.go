@@ -79,7 +79,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		edges = append(edges, Edge{uint32(u), uint32(v)})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// Failed while reading the line after the last delivered one; the
+		// position turns "token too long" into an actionable report.
+		return nil, fmt.Errorf("graph: line %d: %w", lineNo+1, err)
 	}
 	if !header {
 		return nil, fmt.Errorf("graph: missing header line")

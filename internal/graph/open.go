@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// OpenAny opens a graph file of any supported format, auto-detected from
+// its leading bytes: registered binary formats by magic (the CSR snapshot
+// format in internal/graph/snapshot registers itself), the legacy "MPXG"
+// binary edge list, and the two text formats by sniffing — DIMACS when
+// the first non-blank character is a 'c' comment or 'p' problem line,
+// edge list when it is a digit or a '#'/'%' comment. The CLI and the
+// update-trace replay path both load through here, so every input flag
+// accepts every format.
+
+// Opened is an open graph plus the resources backing it. Graph is always
+// set; Weighted is additionally set when the source carries weights (a
+// weighted snapshot, or any DIMACS file — lines without a weight column
+// default to weight 1), sharing storage with Graph. Close releases any
+// backing resources (a snapshot's memory mapping); the graphs must not be
+// used after Close.
+type Opened struct {
+	Graph    *Graph
+	Weighted *WeightedGraph
+	Format   string // "snapshot", "binary", "dimacs", "edgelist"
+	closer   io.Closer
+}
+
+// Close releases the resources backing the graphs, if any. Safe to call
+// twice.
+func (o *Opened) Close() error {
+	if o == nil || o.closer == nil {
+		return nil
+	}
+	c := o.closer
+	o.closer = nil
+	return c.Close()
+}
+
+// FormatLoader opens one registered binary format. It owns the whole
+// load: OpenAny only sniffs the magic and delegates the path.
+type FormatLoader func(path string) (*Opened, error)
+
+type registeredFormat struct {
+	name  string
+	magic []byte
+	load  FormatLoader
+}
+
+var formatRegistry []registeredFormat
+
+// RegisterFormat registers a magic-prefixed binary graph format with
+// OpenAny. Format packages call it from init (mirroring image.RegisterFormat);
+// it is not safe for concurrent use with OpenAny. The Opened returned by
+// load should set Format to name and wire its closer via NewOpened.
+func RegisterFormat(name string, magic []byte, load FormatLoader) {
+	if len(magic) == 0 || load == nil {
+		panic("graph: RegisterFormat needs a magic prefix and a loader")
+	}
+	formatRegistry = append(formatRegistry, registeredFormat{name: name, magic: magic, load: load})
+}
+
+// NewOpened assembles an Opened for a registered format loader: g must be
+// non-nil, wg may be nil, closer (may be nil) is invoked by Opened.Close.
+func NewOpened(g *Graph, wg *WeightedGraph, format string, closer io.Closer) *Opened {
+	return &Opened{Graph: g, Weighted: wg, Format: format, closer: closer}
+}
+
+// sniffLimit bounds how many leading bytes OpenAny reads to classify a
+// file; text files may open with comments, so it is larger than any magic.
+const sniffLimit = 512
+
+// OpenAny opens path and parses it as whatever graph format its leading
+// bytes identify. See the package comments above for the detection rules.
+func OpenAny(path string) (*Opened, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	prefix := make([]byte, sniffLimit)
+	k, err := io.ReadFull(f, prefix)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		f.Close()
+		return nil, fmt.Errorf("graph: sniffing %s: %w", path, err)
+	}
+	prefix = prefix[:k]
+	for _, rf := range formatRegistry {
+		if bytes.HasPrefix(prefix, rf.magic) {
+			f.Close()
+			return rf.load(path)
+		}
+	}
+	if bytes.HasPrefix(prefix, binaryMagic[:]) {
+		defer f.Close()
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		g, err := ReadBinary(f)
+		if err != nil {
+			return nil, err
+		}
+		return &Opened{Graph: g, Format: "binary"}, nil
+	}
+	format, err := sniffText(prefix, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	switch format {
+	case "dimacs":
+		// Parse weighted so ".gr" weights survive; for weightless DIMACS
+		// files every line defaults to weight 1, and the unweighted view is
+		// bit-identical to ReadDIMACS (both dedup to the same canonical
+		// edge set).
+		wg, err := ReadDIMACSWeighted(f)
+		if err != nil {
+			return nil, err
+		}
+		return &Opened{Graph: wg.Unweighted(), Weighted: wg, Format: "dimacs"}, nil
+	default: // "edgelist"
+		g, err := ReadEdgeList(f)
+		if err != nil {
+			return nil, err
+		}
+		return &Opened{Graph: g, Format: "edgelist"}, nil
+	}
+}
+
+// sniffText classifies a text graph file from its first non-whitespace
+// byte.
+func sniffText(prefix []byte, path string) (string, error) {
+	for _, c := range prefix {
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			continue
+		case c == 'c' || c == 'p':
+			return "dimacs", nil
+		case c >= '0' && c <= '9' || c == '#' || c == '%':
+			return "edgelist", nil
+		default:
+			return "", fmt.Errorf("graph: %s: unrecognized graph format (leading byte %q)", path, c)
+		}
+	}
+	return "", fmt.Errorf("graph: %s: unrecognized graph format (no content)", path)
+}

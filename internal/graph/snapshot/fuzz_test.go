@@ -1,0 +1,63 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"mpx/internal/graph"
+)
+
+// FuzzLoadSnapshot feeds arbitrary bytes to the decoder. The contract
+// under fuzzing is total: Decode either returns a typed error or a
+// fully-validated snapshot — never a panic, out-of-range adjacency, or a
+// graph whose canonical re-encode differs from the accepted input (the
+// format admits exactly one encoding per graph, so acceptance implies
+// byte-level canonicity).
+func FuzzLoadSnapshot(f *testing.F) {
+	seedGraph := func(g *graph.Graph, wg *graph.WeightedGraph) []byte {
+		var buf bytes.Buffer
+		var err error
+		if wg != nil {
+			err = WriteWeighted(&buf, wg)
+		} else {
+			err = Write(&buf, g)
+		}
+		if err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := seedGraph(graph.Grid2D(4, 5), nil)
+	wvalid := seedGraph(nil, graph.RandomWeights(graph.Path(6), 1, 3, 2))
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(wvalid)
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-3])
+	f.Add(append(bytes.Clone(valid), 0xff))
+	f.Add([]byte("MPXSNAP\x00 not really a snapshot"))
+	f.Add(bytes.Repeat([]byte{0}, headerSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		defer s.Close()
+		var buf bytes.Buffer
+		if s.Weighted() != nil {
+			err = WriteWeighted(&buf, s.Weighted())
+		} else {
+			err = Write(&buf, s.Graph())
+		}
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted input is not canonical: re-encode differs (%d vs %d bytes)", buf.Len(), len(data))
+		}
+		if s.Graph().NumVertices() == 0 && len(data) != headerSize+8 {
+			t.Fatalf("empty graph from %d-byte input", len(data))
+		}
+	})
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package snapshot
+
+import "os"
+
+// Non-unix platforms have no mmap here; Load always takes the io.ReadAll
+// fallback, which shares every validation path with the mapped route.
+func mmapFile(f *os.File, size int64) ([]byte, bool) {
+	return nil, false
+}
+
+func munmap(data []byte) error {
+	return nil
+}

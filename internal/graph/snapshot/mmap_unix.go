@@ -1,0 +1,28 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. A false return (zero-length file or
+// any mmap failure) sends Load down the io.ReadAll fallback; mapping is
+// an optimization, never a requirement. MAP_PRIVATE keeps the mapping
+// immune to concurrent writers flipping PROT semantics — the pages are
+// read-only either way, and a snapshot is written once via rename.
+func mmapFile(f *os.File, size int64) ([]byte, bool) {
+	if size <= 0 {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func munmap(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,79 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// In-place section views. The on-disk encoding is little-endian, and the
+// sections are laid out 8-byte aligned relative to the file start, so on
+// a little-endian host with an aligned base pointer (always true for a
+// page-aligned mapping or an io.ReadAll buffer) a section can be
+// reinterpreted as its typed slice without copying. The fallbacks — a
+// big-endian host, or a caller-provided unaligned buffer to Decode —
+// decode by copying, preserving correctness everywhere the fast path
+// doesn't apply.
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian, decided once at startup.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func aligned(b []byte, align uintptr) bool {
+	if len(b) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&b[0]))%align == 0
+}
+
+// int64View reinterprets b (length a multiple of 8) as []int64,
+// zero-copy when possible.
+func int64View(b []byte) []int64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && aligned(b, 8) {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// uint32View reinterprets b (length a multiple of 4) as []uint32.
+func uint32View(b []byte) []uint32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && aligned(b, 4) {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out
+}
+
+// float64View reinterprets b (length a multiple of 8) as []float64.
+func float64View(b []byte) []float64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && aligned(b, 8) {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
