@@ -45,15 +45,17 @@ func writeBenchJSON(t *testing.T, path string, records []benchRecord) {
 // TestWriteBenchJSON materializes the machine-readable benchmark
 // artifacts: BENCH_E22.json (the per-level allocation gates for the
 // unweighted and weighted hierarchy engines), BENCH_E23.json (the
-// incremental-update-vs-rebuild experiment), and BENCH_E24.json (the
-// snapshot-load-vs-text-parse experiment). Gated behind MPX_BENCH_JSON
-// so ordinary test runs stay fast; CI sets it and uploads the files.
-// Each wrapped benchmark keeps its own hard gate (alloc ceilings, the ≥3×
-// and ≥10× speedup floors), so a regression fails this test rather than
-// just shifting a number in the artifact.
+// incremental-update-vs-rebuild experiment), BENCH_E24.json (the
+// snapshot-load-vs-text-parse experiment), and BENCH_E25.json (the
+// zero-alloc batched query-serving experiment: queries/sec, allocs/query,
+// p50/p99 latency). Gated behind MPX_BENCH_JSON so ordinary test runs
+// stay fast; CI sets it and uploads the files. Each wrapped benchmark
+// keeps its own hard gate (alloc ceilings, the ≥3× and ≥10× speedup
+// floors, the 0-allocs/query serving gate), so a regression fails this
+// test rather than just shifting a number in the artifact.
 func TestWriteBenchJSON(t *testing.T) {
 	if os.Getenv("MPX_BENCH_JSON") == "" {
-		t.Skip("set MPX_BENCH_JSON=1 to run the gate benchmarks and write BENCH_E22.json / BENCH_E23.json / BENCH_E24.json")
+		t.Skip("set MPX_BENCH_JSON=1 to run the gate benchmarks and write BENCH_E22.json / BENCH_E23.json / BENCH_E24.json / BENCH_E25.json")
 	}
 	writeBenchJSON(t, "BENCH_E22.json", []benchRecord{
 		recordOf("E22HierarchyAllocGate", BenchmarkE22HierarchyAllocGate),
@@ -66,5 +68,9 @@ func TestWriteBenchJSON(t *testing.T) {
 	writeBenchJSON(t, "BENCH_E24.json", []benchRecord{
 		recordOf("E24SnapshotLoad", BenchmarkE24SnapshotLoad),
 		recordOf("E24TextParseBaseline", BenchmarkE24TextParseBaseline),
+	})
+	writeBenchJSON(t, "BENCH_E25.json", []benchRecord{
+		recordOf("E25QueryThroughput", BenchmarkE25QueryThroughput),
+		recordOf("E25QueryLatency", BenchmarkE25QueryLatency),
 	})
 }

@@ -1,0 +1,156 @@
+package mpx_bench
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"mpx/internal/apps/lowstretch"
+	"mpx/internal/core"
+	"mpx/internal/graph"
+	"mpx/internal/oracle"
+	"mpx/internal/xrand"
+)
+
+// maxE25AllocsPerQuery is the E25 hard gate: the batched oracle serving
+// path must not allocate per query. The budget tolerates only the O(1)
+// bookkeeping of the pool fan-out amortized over a whole batch (a few
+// objects across tens of thousands of queries), not any per-query or
+// per-element allocation.
+const maxE25AllocsPerQuery = 0.01
+
+// e25Setup builds the E25 serving fixture once per benchmark: a ~90k-vertex
+// grid, its low-stretch tree and decomposition hierarchy, and the two
+// read-only oracles over them — the structures a query server would hold
+// resident between requests.
+func e25Setup(b *testing.B) (*oracle.DistanceOracle, *oracle.MembershipOracle, int) {
+	b.Helper()
+	g := graph.Grid2D(300, 300)
+	inc, err := lowstretch.BuildIncrementalPoolCtx(nil, benchPool, g, 0.15, 3, 8, core.DirectionAuto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	do := oracle.NewDistance(inc.Tree(), benchPool, 8)
+	mo := oracle.NewMembership(inc.Hierarchy(), benchPool, 8)
+	if mo.Levels() == 0 {
+		b.Fatal("hierarchy has no levels")
+	}
+	return do, mo, g.NumVertices()
+}
+
+// e25Workload generates the fixed query mix the throughput and latency
+// benchmarks replay: q distance pairs, q/2 cluster-of vertices and q/2
+// same-cluster pairs, all uniform random, plus the caller-owned out slices
+// the batch APIs fill (allocated here, before measurement starts).
+func e25Workload(q, n, levels int, seed uint64) (dPairs, sPairs []oracle.Pair, cVerts []uint32, dOut []int32, cOut []uint32, sOut []bool, level int) {
+	rng := xrand.NewSplitMix64(seed)
+	dPairs = make([]oracle.Pair, q)
+	for i := range dPairs {
+		dPairs[i] = oracle.Pair{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+	}
+	sPairs = make([]oracle.Pair, q/2)
+	for i := range sPairs {
+		sPairs[i] = oracle.Pair{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+	}
+	cVerts = make([]uint32, q/2)
+	for i := range cVerts {
+		cVerts[i] = uint32(rng.Intn(n))
+	}
+	return dPairs, sPairs, cVerts,
+		make([]int32, q), make([]uint32, q/2), make([]bool, q/2),
+		rng.Intn(levels)
+}
+
+// BenchmarkE25QueryThroughput is the batched serving arm of the E25
+// experiment: replay a fixed 100k-query mix (50% tree distance, 25%
+// cluster-of, 25% same-cluster) through the zero-alloc batch APIs into
+// caller-owned out slices, on the shared pool. It reports queries/sec and
+// allocs/query, and fails the run outright if the steady state allocates
+// more than maxE25AllocsPerQuery — the zero-alloc contract is a gate, not
+// a trend line.
+func BenchmarkE25QueryThroughput(b *testing.B) {
+	do, mo, n := e25Setup(b)
+	const q = 50000
+	dPairs, sPairs, cVerts, dOut, cOut, sOut, level := e25Workload(q, n, mo.Levels(), 7)
+	perIter := len(dPairs) + len(sPairs) + len(cVerts)
+
+	serve := func() {
+		do.DistBatch(dPairs, dOut)
+		mo.ClusterBatch(level, cVerts, cOut)
+		mo.SameClusterBatch(level, sPairs, sOut)
+	}
+	serve() // size pool-internal scratch before measuring
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	b.ReportAllocs()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		serve()
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+
+	totalQueries := float64(perIter) * float64(b.N)
+	allocsPerQuery := float64(after.Mallocs-before.Mallocs) / totalQueries
+	b.ReportMetric(allocsPerQuery, "allocs/query")
+	b.ReportMetric(totalQueries/elapsed.Seconds(), "qps")
+	b.ReportMetric(float64(perIter), "queries/op")
+	if allocsPerQuery > maxE25AllocsPerQuery {
+		b.Fatalf("batched serving allocates %.4f objects/query (gate %g): the zero-alloc batch path is leaking",
+			allocsPerQuery, maxE25AllocsPerQuery)
+	}
+}
+
+// BenchmarkE25QueryLatency is the point-query arm: scalar oracle calls
+// timed in blocks of 128 (one clock read per block, so timer overhead does
+// not swamp a tens-of-ns query), reporting p50 and p99 per-query latency
+// in nanoseconds alongside the scalar queries/sec rate.
+func BenchmarkE25QueryLatency(b *testing.B) {
+	do, mo, n := e25Setup(b)
+	const q = 50000
+	dPairs, sPairs, cVerts, _, _, _, level := e25Workload(q, n, mo.Levels(), 7)
+
+	const block = 128
+	var sink int64
+	samples := make([]float64, 0, b.N)
+	di, ci, si := 0, 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		for j := 0; j < block; j++ {
+			switch j % 4 {
+			case 0, 1:
+				p := dPairs[di]
+				sink += int64(do.Dist(p.U, p.V))
+				di = (di + 1) % len(dPairs)
+			case 2:
+				sink += int64(mo.ClusterOf(cVerts[ci], level))
+				ci = (ci + 1) % len(cVerts)
+			default:
+				p := sPairs[si]
+				if mo.SameCluster(p.U, p.V, level) {
+					sink++
+				}
+				si = (si + 1) % len(sPairs)
+			}
+		}
+		samples = append(samples, float64(time.Since(t0).Nanoseconds())/block)
+	}
+	b.StopTimer()
+	if sink == 0 && b.N > 8 {
+		b.Fatal("checksum is zero; the query loop was elided")
+	}
+	sort.Float64s(samples)
+	pct := func(p float64) float64 { return samples[int(p*float64(len(samples)-1))] }
+	var total float64
+	for _, s := range samples {
+		total += s
+	}
+	avgNs := total / float64(len(samples))
+	b.ReportMetric(pct(0.50), "p50_ns")
+	b.ReportMetric(pct(0.99), "p99_ns")
+	b.ReportMetric(1e9/avgNs, "qps")
+}

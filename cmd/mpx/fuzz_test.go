@@ -38,3 +38,39 @@ func FuzzParseUpdateTrace(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseQueryTrace hammers the -queries trace parser with arbitrary
+// input: it must never panic, and every batch it accepts must be non-empty
+// and contain only the three known query ops with non-negative levels.
+func FuzzParseQueryTrace(f *testing.F) {
+	f.Add("d 0 5\nc 1 3\ns 2 4 9\n---\nd 7 7\n")
+	f.Add("# comment only\n")
+	f.Add("d 4294967295 0\n")
+	f.Add("d 4294967296 0\n")
+	f.Add("c -1 2\n")
+	f.Add("s 1 2\n")
+	f.Add("q 1 2\n")
+	f.Add("---\n\n---\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		batches, err := parseQueryTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(batches) == 0 {
+			t.Fatal("accepted a trace with zero batches")
+		}
+		for i, b := range batches {
+			if len(b) == 0 {
+				t.Fatalf("batch %d is empty", i)
+			}
+			for j, q := range b {
+				if q.op != 'd' && q.op != 'c' && q.op != 's' {
+					t.Fatalf("batch %d query %d: parser produced op %q", i, j, q.op)
+				}
+				if q.level < 0 {
+					t.Fatalf("batch %d query %d: negative level %d", i, j, q.level)
+				}
+			}
+		}
+	})
+}

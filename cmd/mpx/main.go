@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"mpx/internal/apps/blocks"
@@ -61,7 +62,9 @@ func main() {
 		pngPath   = flag.String("png", "", "write cluster coloring PNG (grid generators only)")
 		validate  = flag.Bool("validate", false, "run full O(m) decomposition validation")
 		updates   = flag.String("updates", "", "replay a batched edge-update trace against an incrementally maintained app (lowstretch|blocks|embedding); see cmd/mpx/updates.go for the format")
-		timeout   = flag.Duration("timeout", 0, "overall deadline (e.g. 30s); cancels the parallel engines at the next round/level boundary and exits non-zero, discarding partial work (0 = none)")
+		queries   = flag.String("queries", "", "serve a distance/cluster-membership query trace from the built lowstretch structures, or \"synth:N\" for N synthetic queries; see cmd/mpx/queries.go for the format")
+		qbatch    = flag.Int("qbatch", 1024, "batch size for -queries synth:N workloads (file traces carry their own batch structure)")
+		timeout   = flag.Duration("timeout", 0, "overall deadline (e.g. 30s); cancels any algorithm (parallel or serial) at its next round/poll boundary and exits non-zero, discarding partial work (0 = none)")
 	)
 	flag.Parse()
 
@@ -146,20 +149,40 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *queries != "" {
+		if *app != "lowstretch" {
+			fmt.Fprintf(os.Stderr, "mpx: -queries serves the lowstretch tree and hierarchy; use -app lowstretch (got -app %s)\n", *app)
+			os.Exit(2)
+		}
+		if *weighted {
+			fmt.Fprintln(os.Stderr, "mpx: -queries serves unweighted structures; drop -weighted")
+			os.Exit(2)
+		}
+		if *updates != "" {
+			fmt.Fprintln(os.Stderr, "mpx: -queries and -updates are separate modes; pick one")
+			os.Exit(2)
+		}
+		if *validate {
+			fmt.Fprintln(os.Stderr, "mpx: -validate applies to -app partition, not -queries serving")
+			os.Exit(2)
+		}
+		if *qbatch <= 0 {
+			fmt.Fprintln(os.Stderr, "mpx: -qbatch must be positive")
+			os.Exit(2)
+		}
+	}
+	if explicit["qbatch"] && !strings.HasPrefix(*queries, "synth:") {
+		fmt.Fprintln(os.Stderr, "mpx: -qbatch shapes -queries synth:N workloads only; file traces carry their own batch structure")
+		os.Exit(2)
+	}
 	if explicit["timeout"] && *timeout <= 0 {
 		fmt.Fprintln(os.Stderr, "mpx: -timeout must be a positive duration (e.g. 30s)")
 		os.Exit(2)
 	}
-	// The serial baselines never poll a context, so a -timeout there would
-	// silently do nothing — reject it like any other ignored flag.
-	if explicit["timeout"] && *app == "partition" {
-		switch *algo {
-		case "mpx", "weighted-par":
-		default:
-			fmt.Fprintf(os.Stderr, "mpx: -timeout cancels the parallel engines; -algo %s is serial and ignores it\n", *algo)
-			os.Exit(2)
-		}
-	}
+	// Every -algo — the parallel engines AND the serial baselines — polls
+	// the deadline context (round boundaries for the parallel engines, key
+	// advances or settle cadences for the serial references), so -timeout
+	// applies uniformly; no algo silently ignores it.
 
 	// ctx carries the -timeout deadline into every engine below; nil (the
 	// engines' "never cancelled") when no deadline was requested.
@@ -209,6 +232,13 @@ func main() {
 	pool := parallel.NewPool(0)
 	defer pool.Close()
 	opts := core.Options{Ctx: ctx, Seed: *seed, Workers: *workers, TieBreak: tieBreak, Direction: dir, Pool: pool}
+
+	if *queries != "" {
+		if err := runQueries(ctx, pool, g, *beta, *seed, *workers, dir, *queries, *qbatch); err != nil {
+			fail(err, *timeout)
+		}
+		return
+	}
 
 	if *updates != "" {
 		f, err := os.Open(*updates)
@@ -275,9 +305,9 @@ func main() {
 	case "exact":
 		d, err = core.PartitionExact(g, *beta, opts)
 	case "ballgrow":
-		d, err = core.BallGrowing(g, *beta, *seed)
+		d, err = core.BallGrowingCtx(ctx, g, *beta, *seed)
 	case "iterative":
-		d, err = core.PartitionIterative(g, *beta, *seed, *workers)
+		d, err = core.PartitionIterativeCtx(ctx, g, *beta, *seed, *workers)
 	default:
 		panic("unreachable: -algo validated against validAlgos above")
 	}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mpx/internal/graph"
+	"mpx/internal/oracle"
+
+	"mpx/internal/apps/lowstretch"
+	"mpx/internal/core"
+)
+
+func TestParseQueryTrace(t *testing.T) {
+	in := `
+# warm-up batch
+d 0 5
+c 1 3   # trailing comment
+s 2 4 9
+---
+d 7 7
+`
+	batches, err := parseQueryTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("got %d batches, want 2", len(batches))
+	}
+	want0 := []query{
+		{op: 'd', u: 0, v: 5},
+		{op: 'c', level: 1, u: 3},
+		{op: 's', level: 2, u: 4, v: 9},
+	}
+	if len(batches[0]) != len(want0) {
+		t.Fatalf("batch 0 has %d queries, want %d", len(batches[0]), len(want0))
+	}
+	for i, q := range want0 {
+		if batches[0][i] != q {
+			t.Fatalf("batch 0 query %d = %+v, want %+v", i, batches[0][i], q)
+		}
+	}
+	if len(batches[1]) != 1 || batches[1][0] != (query{op: 'd', u: 7, v: 7}) {
+		t.Fatalf("batch 1 = %+v", batches[1])
+	}
+}
+
+// TestParseQueryTraceHostile feeds the parser malformed traces: each must
+// fail with an error naming the offending line, never panic, never be
+// silently accepted.
+func TestParseQueryTraceHostile(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"empty", "", "no queries"},
+		{"comments-only", "# nothing\n\n# here\n", "no queries"},
+		{"separators-only", "---\n---\n", "no queries"},
+		{"unknown-op", "q 1 2\n", `line 1`},
+		{"distance-arity", "d 1\n", "line 1"},
+		{"distance-extra-field", "d 1 2 3\n", "line 1"},
+		{"cluster-arity", "c 1\n", "line 1"},
+		{"same-arity", "s 1 2\n", "line 1"},
+		{"negative-vertex", "d -1 2\n", "bad vertex"},
+		{"vertex-overflow", "d 4294967296 0\n", "bad vertex"},
+		{"float-vertex", "d 1.5 2\n", "bad vertex"},
+		{"negative-level", "c -1 2\n", "bad level"},
+		{"bad-level", "s x 1 2\n", "bad level"},
+		{"error-line-number", "d 0 1\n\nd 2\n", "line 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batches, err := parseQueryTrace(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("accepted hostile trace: %+v", batches)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestSynthQueriesDeterministic pins the synthetic generator: same seed →
+// identical workload, batches sized as requested, every query in range.
+func TestSynthQueriesDeterministic(t *testing.T) {
+	a := synthQueries(1000, 256, 500, 3, 42)
+	b := synthQueries(1000, 256, 500, 3, 42)
+	if len(a) != 4 {
+		t.Fatalf("got %d batches, want 4 (256+256+256+232)", len(a))
+	}
+	total := 0
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("batch %d: %d vs %d queries", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("batch %d query %d differs across same-seed runs", i, j)
+			}
+			q := a[i][j]
+			if q.u >= 500 || (q.op != 'c' && q.v >= 500) || q.level >= 3 {
+				t.Fatalf("batch %d query %d out of range: %+v", i, j, q)
+			}
+		}
+		total += len(a[i])
+	}
+	if total != 1000 {
+		t.Fatalf("generated %d queries, want 1000", total)
+	}
+	if c := synthQueries(1000, 256, 500, 3, 43); len(c[0]) > 0 && c[0][0] == a[0][0] && c[0][1] == a[0][1] && c[0][2] == a[0][2] {
+		t.Fatal("different seeds produced an identical workload prefix")
+	}
+}
+
+// TestServeBatchMatchesScalar replays a mixed batch through serveBatch and
+// checks its checksums against scalar oracle calls — the driver's batch
+// path and the scalar API must agree.
+func TestServeBatchMatchesScalar(t *testing.T) {
+	g := graph.Grid2D(20, 20)
+	inc, err := lowstretch.BuildIncrementalPoolCtx(nil, nil, g, 0.25, 3, 2, core.DirectionAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	do := oracle.NewDistance(inc.Tree(), nil, 2)
+	mo := oracle.NewMembership(inc.Hierarchy(), nil, 2)
+	batches := synthQueries(5000, 777, g.NumVertices(), mo.Levels(), 11)
+
+	var sc queryScratch
+	var distSum, sameCount int64
+	var clusterXor uint32
+	for i, b := range batches {
+		if err := serveBatch(b, do, mo, &sc, &distSum, &sameCount, &clusterXor); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+
+	var wantDist, wantSame int64
+	var wantXor uint32
+	for _, b := range batches {
+		for _, q := range b {
+			switch q.op {
+			case 'd':
+				wantDist += int64(do.Dist(q.u, q.v))
+			case 'c':
+				wantXor ^= mo.ClusterOf(q.u, q.level)
+			case 's':
+				if mo.SameCluster(q.u, q.v, q.level) {
+					wantSame++
+				}
+			}
+		}
+	}
+	if distSum != wantDist || sameCount != wantSame || clusterXor != wantXor {
+		t.Fatalf("batch checksums (dist=%d same=%d xor=%08x) != scalar (dist=%d same=%d xor=%08x)",
+			distSum, sameCount, clusterXor, wantDist, wantSame, wantXor)
+	}
+
+	// Out-of-range queries are rejected with the query index, not served.
+	bad := []query{{op: 'd', u: uint32(g.NumVertices()), v: 0}}
+	if err := serveBatch(bad, do, mo, &sc, &distSum, &sameCount, &clusterXor); err == nil || !strings.Contains(err.Error(), "query 0") {
+		t.Fatalf("out-of-range vertex: err=%v", err)
+	}
+	bad = []query{{op: 's', level: mo.Levels(), u: 0, v: 1}}
+	if err := serveBatch(bad, do, mo, &sc, &distSum, &sameCount, &clusterXor); err == nil || !strings.Contains(err.Error(), "level") {
+		t.Fatalf("out-of-range level: err=%v", err)
+	}
+}

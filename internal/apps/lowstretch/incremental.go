@@ -50,7 +50,7 @@ func BuildIncrementalPoolCtx(ctx context.Context, pool *parallel.Pool, g *graph.
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
-	inc := &Incremental{tree: &Tree{G: g}}
+	inc := &Incremental{tree: &Tree{G: g, pool: pool, workers: workers}}
 	h, err := hier.BuildHierarchy(hier.Config{
 		Ctx:          ctx,
 		Beta:         beta,
@@ -76,6 +76,13 @@ func BuildIncrementalPoolCtx(ctx context.Context, pool *parallel.Pool, g *graph.
 // Tree returns the maintained spanning forest. The pointer stays valid
 // across updates; Update mutates it in place.
 func (inc *Incremental) Tree() *Tree { return inc.tree }
+
+// Hierarchy exposes the retained decompose-and-contract hierarchy the tree
+// is derived from, so query layers (oracle.MembershipOracle, cmd/mpx
+// -queries) can export cluster maps from the same build that produced the
+// tree. Mutating it directly (its own Update) desynchronizes the Tree; go
+// through Incremental.Update instead.
+func (inc *Incremental) Hierarchy() *hier.Hierarchy { return inc.h }
 
 // Update applies b to the underlying graph and re-derives exactly the
 // hierarchy levels whose inputs changed, splicing the retained tree-edge

@@ -22,6 +22,7 @@ package lowstretch
 import (
 	"context"
 	"errors"
+	"math/bits"
 
 	"mpx/internal/core"
 	"mpx/internal/graph"
@@ -41,11 +42,23 @@ type Tree struct {
 	// Stats summarizes each hierarchy level (sizes, clusters, cut).
 	Stats []hier.LevelStat
 
-	depth  []int32
-	order  []int32 // first visit position of each vertex in the Euler tour
-	euler  []uint32
-	sparse [][]uint32 // sparse table over euler positions, min by depth
-	comp   []int32    // connected component labels (forest support)
+	depth []int32
+	order []int32 // first visit position of each vertex in the Euler tour
+	euler []uint32
+	// sparse is the LCA sparse table over euler positions (min by depth),
+	// flattened into one stride-indexed backing array: row k occupies
+	// sparse[k*sstride : k*sstride + len(euler) - (1<<k) + 1]. One flat
+	// allocation and no per-row pointer chase on the query path — the
+	// layout the high-QPS oracle batch kernels read.
+	sparse  []uint32
+	sstride int
+	comp    []int32 // connected component labels (forest support)
+
+	// pool/workers drive the parallel index build (each sparse-table row
+	// is an independent elementwise min-scan over the previous row). A nil
+	// pool means parallel.Default(); queries never touch the pool.
+	pool    *parallel.Pool
+	workers int
 }
 
 // Build constructs a low-stretch spanning forest of g with decomposition
@@ -73,7 +86,7 @@ func BuildPoolCtx(ctx context.Context, pool *parallel.Pool, g *graph.Graph, beta
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
-	t := &Tree{G: g}
+	t := &Tree{G: g, pool: pool, workers: workers}
 	if g.NumVertices() == 0 {
 		return t, nil
 	}
@@ -231,31 +244,44 @@ func (t *Tree) index() error {
 	return nil
 }
 
+// buildSparse fills the flattened sparse table: row 0 is the Euler tour,
+// row k the elementwise depth-min of row k-1 with itself shifted by
+// 2^(k-1). Rows build in order, but every element of a row is independent,
+// so each row is one parallel sweep on the pool — the index build is
+// O(m log m) work at O(log m) additional depth, with a single backing
+// allocation reused across rebuilds. Values are bit-identical to the
+// serial per-row construction: the min-scan reads only the previous row.
 func (t *Tree) buildSparse() {
 	m := len(t.euler)
+	t.sstride = m
 	if m == 0 {
+		t.sparse = t.sparse[:0]
 		return
 	}
 	levels := 1
 	for 1<<levels <= m {
 		levels++
 	}
-	t.sparse = make([][]uint32, levels)
-	t.sparse[0] = make([]uint32, m)
-	copy(t.sparse[0], t.euler)
+	if cap(t.sparse) < levels*m {
+		t.sparse = make([]uint32, levels*m)
+	}
+	t.sparse = t.sparse[:levels*m]
+	copy(t.sparse[:m], t.euler)
+	depth := t.depth
 	for k := 1; k < levels; k++ {
-		span := 1 << k
-		row := make([]uint32, m-span+1)
-		prev := t.sparse[k-1]
-		for i := range row {
-			a, b := prev[i], prev[i+span/2]
-			if t.depth[a] <= t.depth[b] {
-				row[i] = a
-			} else {
-				row[i] = b
+		half := 1 << (k - 1)
+		prev := t.sparse[(k-1)*m : k*m]
+		row := t.sparse[k*m : k*m+m-2*half+1]
+		t.pool.ForRange(t.workers, len(row), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a, b := prev[i], prev[i+half]
+				if depth[a] <= depth[b] {
+					row[i] = a
+				} else {
+					row[i] = b
+				}
 			}
-		}
-		t.sparse[k] = row
+		})
 	}
 }
 
@@ -266,12 +292,9 @@ func (t *Tree) LCA(u, v uint32) uint32 {
 	if a > b {
 		a, b = b, a
 	}
-	span := int(b - a + 1)
-	k := 0
-	for 1<<(k+1) <= span {
-		k++
-	}
-	x, y := t.sparse[k][a], t.sparse[k][int(b)-(1<<k)+1]
+	k := bits.Len32(uint32(b-a+1)) - 1
+	base := k * t.sstride
+	x, y := t.sparse[base+int(a)], t.sparse[base+int(b)-(1<<k)+1]
 	if t.depth[x] <= t.depth[y] {
 		return x
 	}

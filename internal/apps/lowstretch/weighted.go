@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"math/bits"
 
 	"mpx/internal/core"
 	"mpx/internal/graph"
@@ -53,8 +54,16 @@ type WeightedTree struct {
 	wdepth []float64 // weighted depth from the component root
 	order  []int32
 	euler  []uint32
-	sparse [][]uint32
-	comp   []int32
+	// sparse is the flattened LCA sparse table (see Tree.sparse): row k at
+	// sparse[k*sstride : k*sstride + len(euler) - (1<<k) + 1].
+	sparse  []uint32
+	sstride int
+	comp    []int32
+
+	// pool/workers drive the parallel index build; nil means
+	// parallel.Default(). Queries never touch the pool.
+	pool    *parallel.Pool
+	workers int
 }
 
 // BuildWeighted constructs an AKPW low-stretch spanning forest of wg on
@@ -83,7 +92,7 @@ func BuildWeightedPoolCtx(ctx context.Context, pool *parallel.Pool, wg *graph.We
 	if beta <= 0 || beta >= 1 {
 		return nil, core.ErrBeta
 	}
-	t := &WeightedTree{G: wg}
+	t := &WeightedTree{G: wg, pool: pool, workers: workers}
 	n := wg.NumVertices()
 	if n == 0 {
 		return t, nil
@@ -292,31 +301,40 @@ func (t *WeightedTree) index() error {
 	return nil
 }
 
+// buildSparse fills the flattened sparse table exactly as Tree.buildSparse
+// does: one backing allocation, each row a parallel elementwise depth-min
+// sweep over the previous row, bit-identical to the serial construction.
 func (t *WeightedTree) buildSparse() {
 	m := len(t.euler)
+	t.sstride = m
 	if m == 0 {
+		t.sparse = t.sparse[:0]
 		return
 	}
 	levels := 1
 	for 1<<levels <= m {
 		levels++
 	}
-	t.sparse = make([][]uint32, levels)
-	t.sparse[0] = make([]uint32, m)
-	copy(t.sparse[0], t.euler)
+	if cap(t.sparse) < levels*m {
+		t.sparse = make([]uint32, levels*m)
+	}
+	t.sparse = t.sparse[:levels*m]
+	copy(t.sparse[:m], t.euler)
+	depth := t.depth
 	for k := 1; k < levels; k++ {
-		span := 1 << k
-		row := make([]uint32, m-span+1)
-		prev := t.sparse[k-1]
-		for i := range row {
-			a, b := prev[i], prev[i+span/2]
-			if t.depth[a] <= t.depth[b] {
-				row[i] = a
-			} else {
-				row[i] = b
+		half := 1 << (k - 1)
+		prev := t.sparse[(k-1)*m : k*m]
+		row := t.sparse[k*m : k*m+m-2*half+1]
+		t.pool.ForRange(t.workers, len(row), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a, b := prev[i], prev[i+half]
+				if depth[a] <= depth[b] {
+					row[i] = a
+				} else {
+					row[i] = b
+				}
 			}
-		}
-		t.sparse[k] = row
+		})
 	}
 }
 
@@ -327,12 +345,9 @@ func (t *WeightedTree) LCA(u, v uint32) uint32 {
 	if a > b {
 		a, b = b, a
 	}
-	span := int(b - a + 1)
-	k := 0
-	for 1<<(k+1) <= span {
-		k++
-	}
-	x, y := t.sparse[k][a], t.sparse[k][int(b)-(1<<k)+1]
+	k := bits.Len32(uint32(b-a+1)) - 1
+	base := k * t.sstride
+	x, y := t.sparse[base+int(a)], t.sparse[base+int(b)-(1<<k)+1]
 	if t.depth[x] <= t.depth[y] {
 		return x
 	}

@@ -21,11 +21,23 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"math"
 
 	"mpx/internal/graph"
 )
+
+// ctxErr polls ctx inside the CG iteration loop; a nil ctx is never
+// cancelled. As in core, the poll calls ctx.Err() directly so
+// fault-injection contexts that trip on the Nth poll observe every
+// iteration boundary.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // Laplacian is the linear operator L = D − A of an unweighted graph.
 type Laplacian struct {
@@ -167,14 +179,78 @@ func pcg(l *Laplacian, b []float64, tol float64, maxIter int, pre *TreeSolver) (
 
 // pcgOp is the operator-generic PCG kernel shared by the unweighted and
 // weighted Laplacians: apply computes out = L·x and pre (nil for plain CG)
-// solves the preconditioner system into z.
+// solves the preconditioner system into z. It allocates fresh scratch per
+// call; repeated-solve callers use the reusable Solver instead (identical
+// float operations, zero steady-state allocations).
 func pcgOp(apply func(x, out []float64), n int, b []float64, tol float64, maxIter int, pre func(r, z []float64)) ([]float64, Result) {
-	x := make([]float64, n)
+	s := newSolver(apply, n, tol, maxIter, pre)
+	x, res, _ := s.solve(nil, b)
+	return x, res
+}
+
+// Solver is a reusable PCG solver: the preconditioner-as-a-service shape,
+// where one operator serves many right-hand sides and a per-solve
+// allocation would be a per-request allocation. All scratch vectors (x,
+// projected rhs, residual, preconditioned residual, search direction,
+// L·p) are hoisted into the object, so a steady-state Solve allocates
+// nothing. The float operations are exactly those of CG/PCG/WeightedPCG —
+// results are bit-identical. Not safe for concurrent use; create one
+// Solver per goroutine.
+type Solver struct {
+	apply   func(x, out []float64)
+	pre     func(r, z []float64) // nil = plain CG
+	n       int
+	tol     float64
+	maxIter int
+
+	x, rhs, r, z, p, lp []float64
+}
+
+// NewSolver builds a reusable solver for L x = b over the unweighted
+// Laplacian, preconditioned by exact tree solves (ts nil = plain CG).
+func NewSolver(l *Laplacian, ts *TreeSolver, tol float64, maxIter int) *Solver {
+	var pre func(r, z []float64)
+	if ts != nil {
+		pre = ts.Solve
+	}
+	return newSolver(l.Apply, l.Dim(), tol, maxIter, pre)
+}
+
+func newSolver(apply func(x, out []float64), n int, tol float64, maxIter int, pre func(r, z []float64)) *Solver {
+	return &Solver{
+		apply: apply, pre: pre, n: n, tol: tol, maxIter: maxIter,
+		x: make([]float64, n), rhs: make([]float64, n), r: make([]float64, n),
+		z: make([]float64, n), p: make([]float64, n), lp: make([]float64, n),
+	}
+}
+
+// Solve runs PCG on b. The returned solution slice is owned by the Solver
+// and valid until the next Solve; copy it to retain. Bit-identical to the
+// one-shot CG/PCG/WeightedPCG on the same operator and b.
+func (s *Solver) Solve(b []float64) ([]float64, Result) {
+	x, res, _ := s.solve(nil, b)
+	return x, res
+}
+
+// SolveCtx is Solve with a cancellation context (nil means never
+// cancelled), polled at every CG iteration — the uniform deadline shape a
+// serving layer needs. A cancelled solve returns (nil, Result{}, ctx.Err())
+// and the solver remains reusable.
+func (s *Solver) SolveCtx(ctx context.Context, b []float64) ([]float64, Result, error) {
+	return s.solve(ctx, b)
+}
+
+func (s *Solver) solve(ctx context.Context, b []float64) ([]float64, Result, error) {
+	n := s.n
+	x := s.x
+	for i := range x {
+		x[i] = 0
+	}
 	if n == 0 {
-		return x, Result{Converged: true}
+		return x, Result{Converged: true}, nil
 	}
 	// Project b onto the range of L (orthogonal complement of 1).
-	rhs := make([]float64, n)
+	rhs := s.rhs
 	var mean float64
 	for _, v := range b {
 		mean += v
@@ -185,31 +261,34 @@ func pcgOp(apply func(x, out []float64), n int, b []float64, tol float64, maxIte
 	}
 	bNorm := norm(rhs)
 	if bNorm == 0 {
-		return x, Result{Converged: true}
+		return x, Result{Converged: true}, nil
 	}
 
-	r := make([]float64, n)
+	r := s.r
 	copy(r, rhs)
-	z := make([]float64, n)
+	z := s.z
 	applyPre := func() {
-		if pre == nil {
+		if s.pre == nil {
 			copy(z, r)
 		} else {
-			pre(r, z)
+			s.pre(r, z)
 		}
 	}
 	applyPre()
-	p := make([]float64, n)
+	p := s.p
 	copy(p, z)
-	lp := make([]float64, n)
+	lp := s.lp
 	rz := dot(r, z)
 	res := Result{}
-	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
-		if norm(r)/bNorm < tol {
+	for res.Iterations = 0; res.Iterations < s.maxIter; res.Iterations++ {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return nil, Result{}, cerr
+		}
+		if norm(r)/bNorm < s.tol {
 			res.Converged = true
 			break
 		}
-		apply(p, lp)
+		s.apply(p, lp)
 		plp := dot(p, lp)
 		if plp <= 0 {
 			break // numerical breakdown (p in nullspace)
@@ -228,10 +307,10 @@ func pcgOp(apply func(x, out []float64), n int, b []float64, tol float64, maxIte
 		}
 	}
 	res.Residual = norm(r) / bNorm
-	if res.Residual < tol {
+	if res.Residual < s.tol {
 		res.Converged = true
 	}
-	return x, res
+	return x, res, nil
 }
 
 func dot(a, b []float64) float64 {

@@ -153,3 +153,15 @@ func WeightedPCG(l *WeightedLaplacian, ts *WeightedTreeSolver, b []float64, tol 
 func WeightedCG(l *WeightedLaplacian, b []float64, tol float64, maxIter int) ([]float64, Result) {
 	return pcgOp(l.Apply, l.Dim(), b, tol, maxIter, nil)
 }
+
+// NewWeightedSolver builds a reusable solver over the weighted Laplacian,
+// preconditioned by exact weighted tree solves (ts nil = plain CG). See
+// Solver: repeated Solves reuse all scratch and are bit-identical to
+// WeightedPCG/WeightedCG.
+func NewWeightedSolver(l *WeightedLaplacian, ts *WeightedTreeSolver, tol float64, maxIter int) *Solver {
+	var pre func(r, z []float64)
+	if ts != nil {
+		pre = ts.Solve
+	}
+	return newSolver(l.Apply, l.Dim(), tol, maxIter, pre)
+}

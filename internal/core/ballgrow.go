@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"mpx/internal/graph"
 	"mpx/internal/xrand"
 )
@@ -20,6 +22,14 @@ import (
 // paper's algorithm removes. BallGrowing is the sequential baseline of
 // experiment E7.
 func BallGrowing(g *graph.Graph, beta float64, seed uint64) (*Decomposition, error) {
+	return BallGrowingCtx(nil, g, beta, seed)
+}
+
+// BallGrowingCtx is BallGrowing with a cancellation context (nil means
+// never cancelled), polled at every ball-growth round — the serial analog
+// of the parallel round boundary. A cancelled run returns (nil, ctx.Err())
+// with no partial decomposition.
+func BallGrowingCtx(ctx context.Context, g *graph.Graph, beta float64, seed uint64) (*Decomposition, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, ErrBeta
 	}
@@ -60,6 +70,9 @@ func BallGrowing(g *graph.Graph, beta float64, seed uint64) (*Decomposition, err
 		frontierLo, frontierHi := 0, 1
 		radius := int32(0)
 		for {
+			if cerr := ctxErr(ctx); cerr != nil {
+				return nil, cerr
+			}
 			// Boundary: arcs from the current frontier to unassigned
 			// vertices. Older levels have none — their unassigned neighbors
 			// were all absorbed when the next level was built.

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mpx/internal/graph"
+	"mpx/internal/parallel/faultpool"
+)
+
+// The serial reference partitions poll Options.Ctx (key advances for the
+// integer-round Dijkstra, a fixed settle cadence for the float ones) and
+// the serial baselines poll an explicit ctx at their round boundaries —
+// so -timeout and service deadlines apply to every -algo, not just the
+// parallel engines. These tests pin the all-or-nothing contract: a
+// cancelled run returns (nil, context.Canceled), a completed run under a
+// never-tripping fault context is bit-identical to an uncancelled one.
+
+func sameDecomp(a, b *Decomposition) bool {
+	if len(a.Center) != len(b.Center) {
+		return false
+	}
+	for i := range a.Center {
+		if a.Center[i] != b.Center[i] || a.Dist[i] != b.Dist[i] || a.Parent[i] != b.Parent[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSerialPartitionsCancelAtFirstPoll(t *testing.T) {
+	g := graph.Grid2D(40, 40)
+	wg := graph.RandomWeights(g, 1, 4, 2)
+	runs := []struct {
+		name string
+		run  func(ctx context.Context) error
+	}{
+		{"sequential", func(ctx context.Context) error {
+			d, err := PartitionSequential(g, 0.2, Options{Seed: 1, Ctx: ctx})
+			if err == nil && d == nil {
+				return errors.New("nil decomposition without error")
+			}
+			return err
+		}},
+		{"exact", func(ctx context.Context) error {
+			_, err := PartitionExact(g, 0.2, Options{Seed: 1, Ctx: ctx})
+			return err
+		}},
+		{"weighted-serial", func(ctx context.Context) error {
+			_, err := PartitionWeighted(wg, 0.2, Options{Seed: 1, Ctx: ctx})
+			return err
+		}},
+		{"ballgrow", func(ctx context.Context) error {
+			_, err := BallGrowingCtx(ctx, g, 0.2, 1)
+			return err
+		}},
+		{"iterative", func(ctx context.Context) error {
+			_, err := PartitionIterativeCtx(ctx, g, 0.2, 1, 1)
+			return err
+		}},
+	}
+	for _, tc := range runs {
+		t.Run(tc.name, func(t *testing.T) {
+			cc := faultpool.CancelAtCheck(1)
+			if err := tc.run(cc); !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancel at first poll: err=%v, want context.Canceled", err)
+			}
+			if cc.Polls() == 0 {
+				t.Fatal("serial run never polled the context")
+			}
+		})
+	}
+}
+
+// TestSerialPartitionsCancelMidRunAndRetry cancels each serial algorithm
+// at a mid-run boundary, then retries uncancelled and checks the retry is
+// bit-identical to a never-cancelled baseline (no state leaks between
+// attempts — the functions stay pure).
+func TestSerialPartitionsCancelMidRunAndRetry(t *testing.T) {
+	g := graph.Grid2D(35, 30)
+	base := func(ctx context.Context) (*Decomposition, error) {
+		return PartitionSequential(g, 0.15, Options{Seed: 7, Ctx: ctx})
+	}
+	// Probe the boundary count, then cancel halfway.
+	probe := faultpool.CancelAtCheck(1 << 30)
+	want, err := base(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polls := probe.Polls()
+	if polls < 2 {
+		t.Fatalf("workload polls only %d times; cannot cancel mid-run", polls)
+	}
+	d, err := base(faultpool.CancelAtCheck(polls / 2))
+	if !errors.Is(err, context.Canceled) || d != nil {
+		t.Fatalf("mid-run cancel: d=%v err=%v, want nil + context.Canceled", d, err)
+	}
+	got, err := base(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDecomp(got, want) {
+		t.Fatal("retry after cancellation diverged from uncancelled baseline")
+	}
+
+	// Same shape for the serial baselines.
+	wantBG, err := BallGrowingCtx(nil, g, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeBG := faultpool.CancelAtCheck(1 << 30)
+	if _, err := BallGrowingCtx(probeBG, g, 0.2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if p := probeBG.Polls(); p >= 2 {
+		if d, err := BallGrowingCtx(faultpool.CancelAtCheck(p/2), g, 0.2, 3); !errors.Is(err, context.Canceled) || d != nil {
+			t.Fatalf("ballgrow mid-run cancel: d=%v err=%v", d, err)
+		}
+	}
+	gotBG, err := BallGrowingCtx(nil, g, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDecomp(gotBG, wantBG) {
+		t.Fatal("ballgrow retry diverged")
+	}
+
+	wantIt, err := PartitionIterativeCtx(nil, g, 0.2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeIt := faultpool.CancelAtCheck(1 << 30)
+	if _, err := PartitionIterativeCtx(probeIt, g, 0.2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p := probeIt.Polls(); p >= 2 {
+		if d, err := PartitionIterativeCtx(faultpool.CancelAtCheck(p/2), g, 0.2, 3, 1); !errors.Is(err, context.Canceled) || d != nil {
+			t.Fatalf("iterative mid-run cancel: d=%v err=%v", d, err)
+		}
+	}
+	gotIt, err := PartitionIterativeCtx(nil, g, 0.2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDecomp(gotIt, wantIt) {
+		t.Fatal("iterative retry diverged")
+	}
+}
+
+// TestSerialCancelNeverTrippedIsBitIdentical pins that merely passing a
+// polling context (as -timeout always does now) changes nothing: outputs
+// under a never-tripping fault context equal the nil-ctx outputs exactly.
+func TestSerialCancelNeverTrippedIsBitIdentical(t *testing.T) {
+	g := graph.GNM(1500, 5000, 3)
+	for _, tc := range []struct {
+		name string
+		run  func(ctx context.Context) (*Decomposition, error)
+	}{
+		{"sequential", func(ctx context.Context) (*Decomposition, error) {
+			return PartitionSequential(g, 0.2, Options{Seed: 5, Ctx: ctx})
+		}},
+		{"exact", func(ctx context.Context) (*Decomposition, error) {
+			return PartitionExact(g, 0.2, Options{Seed: 5, Ctx: ctx})
+		}},
+		{"ballgrow", func(ctx context.Context) (*Decomposition, error) {
+			return BallGrowingCtx(ctx, g, 0.2, 5)
+		}},
+		{"iterative", func(ctx context.Context) (*Decomposition, error) {
+			return PartitionIterativeCtx(ctx, g, 0.2, 5, 1)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := tc.run(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tc.run(faultpool.CancelAtCheck(1 << 30))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameDecomp(got, want) {
+				t.Fatal("polling context changed the output")
+			}
+		})
+	}
+}

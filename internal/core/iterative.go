@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"mpx/internal/graph"
@@ -21,6 +22,14 @@ import (
 // carry extra log factors exactly as the paper describes — observable as a
 // larger radius/cut constant in the measurements.
 func PartitionIterative(g *graph.Graph, beta float64, seed uint64, workers int) (*Decomposition, error) {
+	return PartitionIterativeCtx(nil, g, beta, seed, workers)
+}
+
+// PartitionIterativeCtx is PartitionIterative with a cancellation context
+// (nil means never cancelled), polled at every sampling iteration and
+// every BFS round within it. A cancelled run returns (nil, ctx.Err()) with
+// no partial decomposition.
+func PartitionIterativeCtx(ctx context.Context, g *graph.Graph, beta float64, seed uint64, workers int) (*Decomposition, error) {
 	if beta <= 0 || beta >= 1 {
 		return nil, ErrBeta
 	}
@@ -48,6 +57,9 @@ func PartitionIterative(g *graph.Graph, beta float64, seed uint64, workers int) 
 
 	claimed := 0
 	for k := 0; k < iterations && claimed < n; k++ {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return nil, cerr
+		}
 		p := math.Exp2(float64(k)) / float64(n) * 4 // densifying sample
 		if k == iterations-1 {
 			p = 1.1 // final sweep: everyone unassigned becomes a center
@@ -83,6 +95,9 @@ func PartitionIterative(g *graph.Graph, beta float64, seed uint64, workers int) 
 			frontiers[s.shift] = append(frontiers[s.shift], item{s.v, s.v})
 		}
 		for t := int32(0); t <= perIter; t++ {
+			if cerr := ctxErr(ctx); cerr != nil {
+				return nil, cerr
+			}
 			var next []item
 			for _, it := range frontiers[t] {
 				if level[it.v] != -1 {

@@ -48,11 +48,21 @@ func PartitionSequential(g *graph.Graph, beta float64, opts Options) (*Decomposi
 		heap.Push(h, it)
 	}
 	roundSeen := make(map[int64]struct{})
+	lastKey := int64(math.MinInt64)
 	for h.Len() > 0 {
 		it := heap.Pop(h).(refItem)
 		lb := &labels[it.target]
 		if lb.settled || it.key != lb.key || it.rank != lb.rank || it.proposer != lb.proposer {
 			continue
+		}
+		// A key advance is the serial analog of a parallel BFS round
+		// boundary — the same poll cadence Partition uses, so -timeout and
+		// fault-injection contexts observe serial runs too.
+		if it.key != lastKey {
+			lastKey = it.key
+			if cerr := ctxErr(opts.Ctx); cerr != nil {
+				return nil, cerr
+			}
 		}
 		lb.settled = true
 		roundSeen[it.key] = struct{}{}
@@ -164,12 +174,21 @@ func PartitionExact(g *graph.Graph, beta float64, opts Options) (*Decomposition,
 		labels[v] = flabel{f: plan.start[v], center: uint32(v)}
 		heap.Push(h, floatRefItem{f: plan.start[v], center: uint32(v), proposer: uint32(v), target: uint32(v)})
 	}
+	settled := 0
 	for h.Len() > 0 {
 		it := heap.Pop(h).(floatRefItem)
 		lb := &labels[it.target]
 		if lb.settled || it.f != lb.f || it.center != lb.center {
 			continue
 		}
+		// Float keys have no integer rounds; poll on a fixed settle cadence
+		// instead so long runs still observe cancellation.
+		if settled%1024 == 0 {
+			if cerr := ctxErr(opts.Ctx); cerr != nil {
+				return nil, cerr
+			}
+		}
+		settled++
 		lb.settled = true
 		v := it.target
 		d.Center[v] = it.center

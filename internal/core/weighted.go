@@ -63,12 +63,21 @@ func PartitionWeighted(wg *graph.WeightedGraph, beta float64, opts Options) (*We
 		labels[v] = wlabel{f: start, center: uint32(v)}
 		heap.Push(h, floatRefItem{f: start, center: uint32(v), proposer: uint32(v), target: uint32(v)})
 	}
+	settled := 0
 	for h.Len() > 0 {
 		it := heap.Pop(h).(floatRefItem)
 		lb := &labels[it.target]
 		if lb.settled || it.f != lb.f || it.center != lb.center {
 			continue
 		}
+		// Serial Dijkstra has no round boundaries; poll Options.Ctx on a
+		// fixed settle cadence so -timeout applies to -algo weighted too.
+		if settled%1024 == 0 {
+			if cerr := ctxErr(opts.Ctx); cerr != nil {
+				return nil, cerr
+			}
+		}
+		settled++
 		lb.settled = true
 		v := it.target
 		d.Center[v] = it.center
