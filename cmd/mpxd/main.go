@@ -1,0 +1,116 @@
+// Command mpxd is the long-running decomposition service: an HTTP daemon
+// over the graph registry, the hierarchy engines, and the query oracles
+// of internal/server (API in docs/mpxd.md).
+//
+//	mpxd -addr 127.0.0.1:8080 -max-builds 4 -build-timeout 2m
+//
+// Endpoints (all under /v1): POST /graphs registers an uploaded graph
+// (any CLI-supported format) keyed by content fingerprint; POST
+// /graphs/{fp}/build runs a decomposition (responses are cached — every
+// build is bit-deterministic in its request tuple); POST
+// /graphs/{fp}/query serves batched distance and cluster-membership
+// queries; DELETE /graphs/{fp} evicts. SIGINT/SIGTERM drain in-flight
+// work, refuse new requests, and exit cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpx/internal/parallel"
+	"mpx/internal/server"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus process concerns: it serves until ctx is cancelled or
+// a signal arrives, then drains and returns the exit code. Tests drive it
+// with a cancellable context and an in-memory stdout.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mpxd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		workers      = fs.Int("workers", 0, "logical workers per request (0 = GOMAXPROCS); never changes result bits")
+		maxBuilds    = fs.Int("max-builds", 2, "in-flight build budget; excess builds get 429 + Retry-After")
+		buildTimeout = fs.Duration("build-timeout", 0, "per-build deadline (0 = none); timed-out builds return a typed 503 with no partial state")
+		maxBody      = fs.Int64("max-body", 1<<30, "graph upload size cap in bytes")
+		spool        = fs.String("spool", "", "spool dir for uploaded graphs (empty = owned temp dir)")
+		drain        = fs.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight work")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mpxd: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *drain <= 0 {
+		fmt.Fprintln(stderr, "mpxd: -drain must be a positive duration")
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	srv, err := server.New(server.Config{
+		Pool:           pool,
+		Workers:        *workers,
+		MaxBuilds:      *maxBuilds,
+		BuildTimeout:   *buildTimeout,
+		MaxUploadBytes: *maxBody,
+		SpoolDir:       *spool,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mpxd:", err)
+		return 1
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "mpxd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "mpxd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "mpxd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "mpxd: shutdown requested; draining in-flight work")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Refuse new application work first (in-flight builds finish), then
+	// close the listener and wait for the HTTP layer to write out the
+	// responses.
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(stderr, "mpxd: drain incomplete:", err)
+		hs.Close()
+		return 1
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintln(stderr, "mpxd: drain incomplete:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "mpxd: drained; exiting")
+	return 0
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// notifyWriter captures run's stdout and signals each full line, so the
+// test can read the listen address while the daemon is live.
+type notifyWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	lines chan string
+}
+
+func newNotifyWriter() *notifyWriter {
+	return &notifyWriter{lines: make(chan string, 16)}
+}
+
+func (w *notifyWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	for {
+		line, rest, ok := strings.Cut(w.buf.String(), "\n")
+		if !ok {
+			break
+		}
+		w.buf.Reset()
+		w.buf.WriteString(rest)
+		select {
+		case w.lines <- line:
+		default:
+		}
+	}
+	return len(p), nil
+}
+
+func waitLine(t *testing.T, w *notifyWriter, prefix string) string {
+	t.Helper()
+	for {
+		select {
+		case line := <-w.lines:
+			if strings.HasPrefix(line, prefix) {
+				return line
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("no %q line within 10s", prefix)
+		}
+	}
+}
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, walks
+// register → build → query over real TCP, then cancels the context (the
+// signal path) and requires a clean drain: exit code 0.
+func TestRunServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stdout := newNotifyWriter()
+	var stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-max-builds", "1"}, stdout, &stderr)
+	}()
+
+	line := waitLine(t, stdout, "mpxd: listening on ")
+	base := "http://" + strings.TrimPrefix(line, "mpxd: listening on ")
+
+	post := func(path string, body []byte) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("reading %s response: %v", path, err)
+		}
+		return resp.StatusCode, data
+	}
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	const dimacs = "p sp 4 3\na 1 2 1.0\na 2 3 2.0\na 3 4 4.0\n"
+	code, body := post("/v1/graphs", []byte(dimacs))
+	if code != http.StatusCreated {
+		t.Fatalf("register: status %d, body %s", code, body)
+	}
+	var reg struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(body, &reg); err != nil {
+		t.Fatalf("register response: %v (%s)", err, body)
+	}
+
+	code, body = post("/v1/graphs/"+reg.Fingerprint+"/build",
+		[]byte(`{"app":"lowstretch","beta":0.5,"seed":1}`))
+	if code != http.StatusOK {
+		t.Fatalf("build: status %d, body %s", code, body)
+	}
+	code, body = post("/v1/graphs/"+reg.Fingerprint+"/query",
+		[]byte(`{"app":"lowstretch","beta":0.5,"seed":1,"op":"dist","pairs":[[0,3]]}`))
+	if code != http.StatusOK {
+		t.Fatalf("query: status %d, body %s", code, body)
+	}
+	var q struct {
+		Dists []int32 `json:"dists"`
+	}
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatalf("query response: %v (%s)", err, body)
+	}
+	if len(q.Dists) != 1 || q.Dists[0] != 3 {
+		t.Fatalf("dist(0,3) on a 4-path = %v, want [3]", q.Dists)
+	}
+
+	cancel()
+	waitLine(t, stdout, "mpxd: drained")
+	select {
+	case exit := <-done:
+		if exit != 0 {
+			t.Fatalf("run exited %d, stderr: %s", exit, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("run did not exit after cancel; stderr: %s", stderr.String())
+	}
+}
+
+// TestRunFlagErrors pins the CLI contract: usage errors exit 2 without
+// ever binding a socket; an unusable address exits 1.
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		exit int
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2},
+		{"positional args", []string{"graph.mpxsnap"}, 2},
+		{"nonpositive drain", []string{"-drain", "-1s"}, 2},
+		{"unusable address", []string{"-addr", "256.256.256.256:1"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(context.Background(), tc.args, &stdout, &stderr); got != tc.exit {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.exit, stderr.String())
+			}
+			if stderr.Len() == 0 {
+				t.Fatal("error exit with empty stderr")
+			}
+		})
+	}
+}
